@@ -1,0 +1,71 @@
+//! # immutable-regions
+//!
+//! A Rust implementation of *Computing Immutable Regions for Subspace Top-k
+//! Queries* (Kyriakos Mouratidis & HweeHwa Pang, PVLDB 6(2), VLDB 2013).
+//!
+//! Given a high-dimensional dataset and a linearly weighted top-k query over
+//! a subset of its dimensions, the library computes — alongside the result —
+//! the **immutable region** of every query weight: the widest range the
+//! weight can move (all others fixed) without changing the result, plus the
+//! exact new result just past each boundary, and optionally the `φ`
+//! subsequent regions in each direction.
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | data model | [`types`] | sparse tuples, datasets, queries, results |
+//! | storage | [`storage`] | paged inverted lists, tuple file, buffer pool, I/O accounting |
+//! | geometry | [`geometry`] | score-coordinate lines, lower envelopes, kinetic sweep |
+//! | top-k | [`topk`] | the resumable random-access Threshold Algorithm |
+//! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle |
+//! | workloads | [`datagen`] | WSJ-like, KB-like and ST dataset generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use immutable_regions::prelude::*;
+//!
+//! // The two-dimensional running example of the paper (Figure 1).
+//! let dataset = Dataset::running_example();
+//! let index = TopKIndex::build_in_memory(&dataset)?;
+//! let query = QueryVector::running_example(); // q = <0.8, 0.5>, k = 2
+//!
+//! let mut computation = RegionComputation::new(&index, &query, RegionConfig::default())?;
+//! let report = computation.compute()?;
+//!
+//! // Top-2 result is [d2, d1]; the immutable region of the first weight is
+//! // (-16/35, +0.1): within it the result cannot change.
+//! let dim0 = report.for_dim(DimId(0)).unwrap();
+//! assert!((dim0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+//! assert!((dim0.immutable.hi - 0.1).abs() < 1e-9);
+//! # Ok::<(), immutable_regions::types::IrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ir_core as core;
+pub use ir_datagen as datagen;
+pub use ir_geometry as geometry;
+pub use ir_storage as storage;
+pub use ir_topk as topk;
+pub use ir_types as types;
+
+/// Everything needed for typical use, importable with one `use`.
+pub mod prelude {
+    pub use ir_core::{
+        Algorithm, ComputationStats, DimRegions, ExhaustiveOracle, Perturbation, RegionBoundary,
+        RegionComputation, RegionConfig, RegionReport, WeightRegion,
+    };
+    pub use ir_datagen::{
+        CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,
+        QueryWorkload, TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
+    };
+    pub use ir_storage::{IndexBuilder, IoConfig, StorageBackend, TopKIndex};
+    pub use ir_topk::{ProbeStrategy, TaConfig, TaRun};
+    pub use ir_types::{
+        Dataset, DatasetBuilder, DimId, IrError, IrResult, QueryBuilder, QueryVector, SparseVector,
+        TopKResult, TupleId,
+    };
+}

@@ -1,0 +1,114 @@
+//! Component micro-benchmarks: the substrates underneath the region
+//! algorithms (TA, the thresholded Phase 2, the kinetic sweep, index build).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_bench::{BenchDataset, Scale};
+use ir_core::lemma::ScoreCoord;
+use ir_core::threshold::{exhaustive_phase2, threshold_phase2, BoundState, CandView};
+use ir_geometry::{sweep_topk, Line};
+use ir_topk::TaRun;
+use ir_types::TupleId;
+
+fn bench_ta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_algorithm");
+    group.sample_size(10);
+    for dataset in [BenchDataset::Wsj, BenchDataset::St] {
+        let (index, workload) = dataset.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(dataset.name()), |b| {
+            b.iter(|| {
+                for query in workload.iter() {
+                    std::hint::black_box(TaRun::execute_default(&index, query).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn synthetic_candidates(n: usize) -> Vec<CandView> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| CandView {
+            id: TupleId(i as u32),
+            score: 0.7 * next(),
+            coord: next(),
+        })
+        .collect()
+}
+
+fn bench_phase2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2");
+    let dk = ScoreCoord::new(0.75, 0.5);
+    for n in [100usize, 1_000, 10_000] {
+        let cands = synthetic_candidates(n);
+        group.bench_function(BenchmarkId::new("exhaustive", n), |b| {
+            b.iter(|| {
+                let mut bounds = BoundState::widest(0.5);
+                exhaustive_phase2(dk, &cands, &mut bounds, |id| Ok(cands[id.0 as usize].coord))
+                    .unwrap();
+                std::hint::black_box(bounds.upper)
+            })
+        });
+        group.bench_function(BenchmarkId::new("thresholded", n), |b| {
+            b.iter(|| {
+                let mut bounds = BoundState::widest(0.5);
+                threshold_phase2(dk, &cands, &mut bounds, |id| Ok(cands[id.0 as usize].coord))
+                    .unwrap();
+                std::hint::black_box(bounds.upper)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kinetic_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kinetic_sweep");
+    for (k, candidates) in [(10usize, 100usize), (40, 500)] {
+        let result: Vec<Line> = (0..k)
+            .map(|i| Line::new(i as u64, 0.9 - 0.01 * i as f64, 0.3 + 0.01 * i as f64))
+            .collect();
+        let outside: Vec<Line> = (0..candidates)
+            .map(|i| {
+                Line::new(
+                    (k + i) as u64,
+                    0.3 - 0.0002 * i as f64,
+                    (i % 97) as f64 / 97.0,
+                )
+            })
+            .collect();
+        group.bench_function(
+            BenchmarkId::new("phi_20", format!("k{k}_c{candidates}")),
+            |b| {
+                b.iter(|| {
+                    std::hint::black_box(sweep_topk(result.clone(), outside.clone(), 0.0, 0.5, 21))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    let dataset = BenchDataset::Wsj.generate(Scale::Smoke);
+    group.bench_function("wsj_smoke", |b| {
+        b.iter(|| std::hint::black_box(ir_storage::TopKIndex::build_in_memory(&dataset).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    components,
+    bench_ta,
+    bench_phase2,
+    bench_kinetic_sweep,
+    bench_index_build
+);
+criterion_main!(components);

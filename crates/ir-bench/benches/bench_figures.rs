@@ -1,0 +1,176 @@
+//! Criterion benchmarks over the paper's experiments (one representative
+//! configuration per figure, smoke-scale datasets so `cargo bench` stays
+//! fast). The full parameter sweeps live in the `figure*` runner binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_bench::{BenchDataset, Scale};
+use ir_core::{Algorithm, RegionComputation, RegionConfig};
+
+fn bench_figure10_wsj_qlen(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let mut group = c.benchmark_group("figure10_wsj_qlen4_k10");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+            b.iter(|| {
+                for query in workload.iter() {
+                    let mut rc =
+                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
+                            .unwrap();
+                    std::hint::black_box(rc.compute().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure11_st_qlen(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::St.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let mut group = c.benchmark_group("figure11_st_qlen4_k10");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+            b.iter(|| {
+                for query in workload.iter() {
+                    let mut rc =
+                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
+                            .unwrap();
+                    std::hint::black_box(rc.compute().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure12_kb_qlen(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::Kb.prepare(Scale::Smoke, 6, 10, 3).unwrap();
+    let mut group = c.benchmark_group("figure12_kb_qlen6_k10");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+            b.iter(|| {
+                for query in workload.iter() {
+                    let mut rc =
+                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
+                            .unwrap();
+                    std::hint::black_box(rc.compute().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure13_vary_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_wsj_vary_k");
+    group.sample_size(10);
+    for k in [10usize, 40] {
+        let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, k, 3).unwrap();
+        for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
+            group.bench_function(BenchmarkId::new(algorithm.name(), k), |b| {
+                b.iter(|| {
+                    for query in workload.iter() {
+                        let mut rc = RegionComputation::new(
+                            &index,
+                            query,
+                            RegionConfig::flat(algorithm),
+                        )
+                        .unwrap();
+                        std::hint::black_box(rc.compute().unwrap());
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_figure14_vary_phi(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 2).unwrap();
+    let mut group = c.benchmark_group("figure14_wsj_vary_phi");
+    group.sample_size(10);
+    for phi in [0usize, 5, 10] {
+        for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
+            group.bench_function(BenchmarkId::new(algorithm.name(), phi), |b| {
+                b.iter(|| {
+                    for query in workload.iter() {
+                        let mut rc = RegionComputation::new(
+                            &index,
+                            query,
+                            RegionConfig::with_phi(algorithm, phi),
+                        )
+                        .unwrap();
+                        std::hint::black_box(rc.compute().unwrap());
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_figure15_oneoff_vs_iterative(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 3, 10, 1).unwrap();
+    let mut group = c.benchmark_group("figure15_oneoff_vs_iterative_phi3");
+    group.sample_size(10);
+    group.bench_function("CPT-one-off", |b| {
+        b.iter(|| {
+            for query in workload.iter() {
+                let mut rc = RegionComputation::new(
+                    &index,
+                    query,
+                    RegionConfig::with_phi(Algorithm::Cpt, 3),
+                )
+                .unwrap();
+                std::hint::black_box(rc.compute().unwrap());
+            }
+        })
+    });
+    group.bench_function("CPT-iterative", |b| {
+        b.iter(|| {
+            for query in workload.iter() {
+                std::hint::black_box(
+                    ir_core::iterative::compute_iterative(&index, query, Algorithm::Cpt, 3)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure16_composition_only(c: &mut Criterion) {
+    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let mut group = c.benchmark_group("figure16_wsj_composition_only");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+            b.iter(|| {
+                for query in workload.iter() {
+                    let mut rc = RegionComputation::new(
+                        &index,
+                        query,
+                        RegionConfig::flat(algorithm).composition_only(),
+                    )
+                    .unwrap();
+                    std::hint::black_box(rc.compute().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_figure10_wsj_qlen,
+    bench_figure11_st_qlen,
+    bench_figure12_kb_qlen,
+    bench_figure13_vary_k,
+    bench_figure14_vary_phi,
+    bench_figure15_oneoff_vs_iterative,
+    bench_figure16_composition_only,
+);
+criterion_main!(figures);

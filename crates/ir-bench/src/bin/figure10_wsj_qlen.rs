@@ -1,0 +1,33 @@
+//! Figure 10: WSJ corpus, k = 10, varying qlen ∈ {2, 4, 6, 8, 10}.
+//!
+//! Prints, per method and query length, the average number of evaluated
+//! candidates per dimension, the I/O time, the CPU time and the memory
+//! footprint — the four panels of Figure 10.
+
+use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale);
+    let mut table = ExperimentTable::new(
+        "Figure 10 — WSJ-like corpus, k = 10, varying qlen",
+        "qlen",
+    );
+    for qlen in [2usize, 4, 6, 8, 10] {
+        let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
+        for algorithm in Algorithm::ALL {
+            let row = measure_method(
+                &index,
+                &workload,
+                algorithm,
+                RegionConfig::flat(algorithm),
+                qlen as f64,
+            )?;
+            table.push(row);
+        }
+    }
+    print_table(&table);
+    Ok(())
+}

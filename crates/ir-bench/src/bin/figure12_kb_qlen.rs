@@ -1,0 +1,33 @@
+//! Figure 12: KB image features, k = 10, varying qlen ∈ {2, 12, 24, 36, 48}.
+
+use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale);
+    let mut table = ExperimentTable::new(
+        "Figure 12 — KB-like image features, k = 10, varying qlen",
+        "qlen",
+    );
+    let qlens: &[usize] = match scale {
+        Scale::Smoke => &[2, 6, 12],
+        _ => &[2, 12, 24, 36, 48],
+    };
+    for &qlen in qlens {
+        let (index, workload) = BenchDataset::Kb.prepare(scale, qlen, 10, queries)?;
+        for algorithm in Algorithm::ALL {
+            let row = measure_method(
+                &index,
+                &workload,
+                algorithm,
+                RegionConfig::flat(algorithm),
+                qlen as f64,
+            )?;
+            table.push(row);
+        }
+    }
+    print_table(&table);
+    Ok(())
+}

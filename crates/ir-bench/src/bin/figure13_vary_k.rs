@@ -1,0 +1,35 @@
+//! Figure 13: WSJ and ST, qlen = 4, varying k ∈ {10, 20, 40, 60, 80}.
+
+use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale);
+    let ks: &[usize] = match scale {
+        Scale::Smoke => &[10, 40, 80],
+        _ => &[10, 20, 40, 60, 80],
+    };
+    for dataset in [BenchDataset::Wsj, BenchDataset::St] {
+        let mut table = ExperimentTable::new(
+            format!("Figure 13 — {} data, qlen = 4, varying k", dataset.name()),
+            "k",
+        );
+        for &k in ks {
+            let (index, workload) = dataset.prepare(scale, 4, k, queries)?;
+            for algorithm in Algorithm::ALL {
+                let row = measure_method(
+                    &index,
+                    &workload,
+                    algorithm,
+                    RegionConfig::flat(algorithm),
+                    k as f64,
+                )?;
+                table.push(row);
+            }
+        }
+        print_table(&table);
+    }
+    Ok(())
+}

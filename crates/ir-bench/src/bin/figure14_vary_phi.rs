@@ -1,0 +1,33 @@
+//! Figure 14: WSJ, k = 10, qlen = 4, varying φ ∈ {0, 10, 20, 30, 40}.
+
+use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale);
+    let phis: &[usize] = match scale {
+        Scale::Smoke => &[0, 5, 10],
+        _ => &[0, 10, 20, 30, 40],
+    };
+    let (index, workload) = BenchDataset::Wsj.prepare(scale, 4, 10, queries)?;
+    let mut table = ExperimentTable::new(
+        "Figure 14 — WSJ-like corpus, k = 10, qlen = 4, varying φ (one-off)",
+        "phi",
+    );
+    for &phi in phis {
+        for algorithm in Algorithm::ALL {
+            let row = measure_method(
+                &index,
+                &workload,
+                algorithm,
+                RegionConfig::with_phi(algorithm, phi),
+                phi as f64,
+            )?;
+            table.push(row);
+        }
+    }
+    print_table(&table);
+    Ok(())
+}

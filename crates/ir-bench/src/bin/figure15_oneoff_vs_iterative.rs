@@ -1,0 +1,34 @@
+//! Figure 15: one-off φ > 0 computation versus iterative re-evaluation of
+//! single-region requests, for Prune and CPT.
+
+use ir_bench::{measure_iterative, measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale).min(10);
+    let phis: &[usize] = match scale {
+        Scale::Smoke => &[1, 3, 5],
+        _ => &[1, 5, 10, 20, 40],
+    };
+    let (index, workload) = BenchDataset::Wsj.prepare(scale, 4, 10, queries)?;
+    let mut table = ExperimentTable::new(
+        "Figure 15 — one-off vs iterative processing, WSJ-like, k = 10, qlen = 4",
+        "phi",
+    );
+    for &phi in phis {
+        for algorithm in [Algorithm::Prune, Algorithm::Cpt] {
+            table.push(measure_method(
+                &index,
+                &workload,
+                algorithm,
+                RegionConfig::with_phi(algorithm, phi),
+                phi as f64,
+            )?);
+            table.push(measure_iterative(&index, &workload, algorithm, phi, phi as f64)?);
+        }
+    }
+    print_table(&table);
+    Ok(())
+}

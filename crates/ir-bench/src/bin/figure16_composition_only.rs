@@ -1,0 +1,31 @@
+//! Figure 16: WSJ, disregarding reorderings within R(q), φ = 0, k = 10,
+//! varying qlen — only changes of the result composition count as
+//! perturbations.
+
+use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_core::{Algorithm, RegionConfig};
+use ir_types::IrResult;
+
+fn main() -> IrResult<()> {
+    let scale = Scale::from_env();
+    let queries = BenchDataset::queries_per_point(scale);
+    let mut table = ExperimentTable::new(
+        "Figure 16 — WSJ-like corpus, composition-only perturbations, k = 10, varying qlen",
+        "qlen",
+    );
+    for qlen in [2usize, 4, 6, 8, 10] {
+        let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
+        for algorithm in Algorithm::ALL {
+            let row = measure_method(
+                &index,
+                &workload,
+                algorithm,
+                RegionConfig::flat(algorithm).composition_only(),
+                qlen as f64,
+            )?;
+            table.push(row);
+        }
+    }
+    print_table(&table);
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # ir-bench
+//!
+//! The experiment harness reproducing the evaluation section of the paper
+//! (Figures 6 and 10–16). Each figure has a runner binary in `src/bin/` that
+//! prints the same series the paper plots (method × x-axis value → metric);
+//! `benches/` contains Criterion micro-benchmarks over the same workloads.
+//!
+//! The scale of the generated datasets is controlled by the
+//! `IR_BENCH_SCALE` environment variable: `smoke` (seconds, CI-friendly),
+//! `default` (minutes, laptop-scale — the scale used for the numbers in
+//! `EXPERIMENTS.md`), or `full` (the paper's cardinalities).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod runner;
+pub mod workloads;
+
+pub use metrics::{MethodMeasurement, MethodSeries};
+pub use runner::{measure_iterative, measure_method, print_table, ExperimentTable};
+pub use workloads::{BenchDataset, Scale};

@@ -1,0 +1,95 @@
+//! Aggregated measurements: what the paper's figures plot.
+
+use ir_core::Algorithm;
+use serde::{Deserialize, Serialize};
+
+/// One data point: a method at one x-axis value, averaged over the workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodMeasurement {
+    /// The algorithm measured.
+    pub algorithm: String,
+    /// x-axis value of the experiment (qlen, k or φ).
+    pub x: f64,
+    /// Average evaluated candidates per query dimension (Figures 10a, 11a,
+    /// 12a, 13a/c, 14a, 16a).
+    pub evaluated_per_dim: f64,
+    /// Average simulated I/O time per query in milliseconds (Figures 10b,
+    /// 14b, 15a, 16b).
+    pub io_time_ms: f64,
+    /// Average CPU time per query in milliseconds (Figures 10c, 11b, 12b,
+    /// 13b/d, 14c, 15b, 16c).
+    pub cpu_time_ms: f64,
+    /// Average memory footprint in KiB (Figure 10d).
+    pub memory_kbytes: f64,
+    /// Average logical page reads per query (machine-independent I/O).
+    pub logical_reads: f64,
+    /// Average physical page reads per query.
+    pub physical_reads: f64,
+}
+
+/// A series of measurements for one algorithm across the x-axis.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MethodSeries {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The points, in x order.
+    pub points: Vec<MethodMeasurement>,
+}
+
+impl MethodMeasurement {
+    /// Creates a zeroed measurement for an algorithm at `x`.
+    pub fn new(algorithm: Algorithm, x: f64) -> Self {
+        MethodMeasurement {
+            algorithm: algorithm.name().to_string(),
+            x,
+            evaluated_per_dim: 0.0,
+            io_time_ms: 0.0,
+            cpu_time_ms: 0.0,
+            memory_kbytes: 0.0,
+            logical_reads: 0.0,
+            physical_reads: 0.0,
+        }
+    }
+
+    /// Divides every metric by `n` (to turn sums into per-query averages).
+    pub fn averaged_over(mut self, n: usize) -> Self {
+        let n = n.max(1) as f64;
+        self.evaluated_per_dim /= n;
+        self.io_time_ms /= n;
+        self.cpu_time_ms /= n;
+        self.memory_kbytes /= n;
+        self.logical_reads /= n;
+        self.physical_reads /= n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaging_divides_every_metric() {
+        let mut m = MethodMeasurement::new(Algorithm::Cpt, 4.0);
+        m.evaluated_per_dim = 10.0;
+        m.io_time_ms = 20.0;
+        m.cpu_time_ms = 30.0;
+        m.memory_kbytes = 40.0;
+        m.logical_reads = 50.0;
+        m.physical_reads = 5.0;
+        let avg = m.averaged_over(10);
+        assert_eq!(avg.evaluated_per_dim, 1.0);
+        assert_eq!(avg.io_time_ms, 2.0);
+        assert_eq!(avg.cpu_time_ms, 3.0);
+        assert_eq!(avg.memory_kbytes, 4.0);
+        assert_eq!(avg.logical_reads, 5.0);
+        assert_eq!(avg.physical_reads, 0.5);
+        assert_eq!(avg.algorithm, "CPT");
+    }
+
+    #[test]
+    fn averaging_over_zero_is_safe() {
+        let m = MethodMeasurement::new(Algorithm::Scan, 1.0).averaged_over(0);
+        assert_eq!(m.evaluated_per_dim, 0.0);
+    }
+}

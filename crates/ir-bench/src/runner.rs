@@ -1,0 +1,171 @@
+//! Running a method over a workload and printing paper-style tables.
+
+use crate::metrics::MethodMeasurement;
+use ir_core::iterative::compute_iterative;
+use ir_core::{Algorithm, RegionComputation, RegionConfig};
+use ir_datagen::QueryWorkload;
+use ir_storage::TopKIndex;
+use ir_types::IrResult;
+
+/// Measures one algorithm/configuration over a workload, averaging over the
+/// queries (the paper averages over 100 queries per point).
+pub fn measure_method(
+    index: &TopKIndex,
+    workload: &QueryWorkload,
+    algorithm: Algorithm,
+    config: RegionConfig,
+    x: f64,
+) -> IrResult<MethodMeasurement> {
+    let mut total = MethodMeasurement::new(algorithm, x);
+    for query in workload.iter() {
+        index.cold_start();
+        let mut computation = RegionComputation::new(index, query, config)?;
+        let report = computation.compute()?;
+        let stats = &report.stats;
+        total.evaluated_per_dim += stats.evaluated_per_dim_avg();
+        total.cpu_time_ms += stats.cpu_time.as_secs_f64() * 1e3;
+        total.io_time_ms += index
+            .io_config()
+            .simulated_io_time(&stats.io)
+            .as_secs_f64()
+            * 1e3;
+        total.memory_kbytes += stats.memory_footprint_bytes as f64 / 1024.0;
+        total.logical_reads += stats.io.logical_reads as f64;
+        total.physical_reads += stats.io.physical_reads as f64;
+    }
+    Ok(total.averaged_over(workload.len()))
+}
+
+/// Measures the iterative re-evaluation baseline for `φ > 0` (Figure 15).
+pub fn measure_iterative(
+    index: &TopKIndex,
+    workload: &QueryWorkload,
+    algorithm: Algorithm,
+    phi: usize,
+    x: f64,
+) -> IrResult<MethodMeasurement> {
+    let mut total = MethodMeasurement::new(algorithm, x);
+    total.algorithm = format!("{}-iter", algorithm.name());
+    for query in workload.iter() {
+        index.cold_start();
+        let report = compute_iterative(index, query, algorithm, phi)?;
+        let stats = &report.stats;
+        let dims = stats.evaluated_per_dim.len().max(1) as f64;
+        total.evaluated_per_dim += stats.evaluated_candidates as f64 / dims;
+        total.cpu_time_ms += stats.cpu_time.as_secs_f64() * 1e3;
+        total.io_time_ms += index
+            .io_config()
+            .simulated_io_time(&stats.io)
+            .as_secs_f64()
+            * 1e3;
+        total.memory_kbytes += stats.memory_footprint_bytes as f64 / 1024.0;
+        total.logical_reads += stats.io.logical_reads as f64;
+        total.physical_reads += stats.io.physical_reads as f64;
+    }
+    Ok(total.averaged_over(workload.len()))
+}
+
+/// A printable experiment table: one row per (method, x) pair.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentTable {
+    /// Table title (figure id + setting).
+    pub title: String,
+    /// Label of the x-axis (e.g. "qlen", "k", "phi").
+    pub x_label: String,
+    /// The measurements.
+    pub rows: Vec<MethodMeasurement>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, row: MethodMeasurement) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table in the layout used by `EXPERIMENTS.md`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n", self.title));
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>16} {:>12} {:>12} {:>12} {:>14}\n",
+            "method", self.x_label, "eval-cands/dim", "io-time-ms", "cpu-ms", "mem-KiB", "logical-reads"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>16.2} {:>12.2} {:>12.3} {:>12.2} {:>14.1}\n",
+                row.algorithm,
+                format_x(row.x),
+                row.evaluated_per_dim,
+                row.io_time_ms,
+                row.cpu_time_ms,
+                row.memory_kbytes,
+                row.logical_reads,
+            ));
+        }
+        out
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Prints a rendered table to stdout.
+pub fn print_table(table: &ExperimentTable) {
+    println!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{BenchDataset, Scale};
+
+    #[test]
+    fn measure_method_produces_sane_averages() {
+        let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 2, 5, 2).unwrap();
+        let scan = measure_method(
+            &index,
+            &workload,
+            Algorithm::Scan,
+            RegionConfig::flat(Algorithm::Scan),
+            2.0,
+        )
+        .unwrap();
+        let cpt = measure_method(
+            &index,
+            &workload,
+            Algorithm::Cpt,
+            RegionConfig::flat(Algorithm::Cpt),
+            2.0,
+        )
+        .unwrap();
+        assert!(scan.evaluated_per_dim >= cpt.evaluated_per_dim);
+        assert!(scan.cpu_time_ms > 0.0);
+        assert!(scan.logical_reads > 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut table = ExperimentTable::new("Figure X", "qlen");
+        let mut row = MethodMeasurement::new(Algorithm::Cpt, 4.0);
+        row.evaluated_per_dim = 3.5;
+        table.push(row);
+        let rendered = table.render();
+        assert!(rendered.contains("Figure X"));
+        assert!(rendered.contains("CPT"));
+        assert!(rendered.contains("3.50"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Benchmark datasets and workloads (the paper's WSJ, KB and ST).
+
+use ir_datagen::queries::DimSelection;
+use ir_datagen::{
+    CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator, QueryWorkload,
+    TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
+};
+use ir_storage::TopKIndex;
+use ir_types::{Dataset, IrResult};
+
+/// Dataset scale, selected with the `IR_BENCH_SCALE` environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per figure; used by `cargo bench` and CI.
+    Smoke,
+    /// Laptop-scale runs (the scale behind `EXPERIMENTS.md`).
+    Default,
+    /// The paper's cardinalities (172,891 / 28,452 / 1M tuples).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from `IR_BENCH_SCALE` (defaults to `smoke`).
+    pub fn from_env() -> Scale {
+        match std::env::var("IR_BENCH_SCALE").unwrap_or_default().as_str() {
+            "full" => Scale::Full,
+            "default" => Scale::Default,
+            _ => Scale::Smoke,
+        }
+    }
+}
+
+/// The three evaluation datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchDataset {
+    /// WSJ-like sparse TF-IDF corpus.
+    Wsj,
+    /// KB-like image feature vectors.
+    Kb,
+    /// ST correlated synthetic data.
+    St,
+}
+
+impl BenchDataset {
+    /// Display name used in table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchDataset::Wsj => "WSJ-like",
+            BenchDataset::Kb => "KB-like",
+            BenchDataset::St => "ST",
+        }
+    }
+
+    /// Generates the dataset at the given scale (deterministic).
+    pub fn generate(&self, scale: Scale) -> Dataset {
+        match self {
+            BenchDataset::Wsj => {
+                let config = match scale {
+                    Scale::Smoke => TextCorpusConfig {
+                        num_docs: 3_000,
+                        vocabulary: 2_500,
+                        mean_distinct_terms: 25.0,
+                        zipf_exponent: 1.0,
+                    },
+                    Scale::Default => TextCorpusConfig::default(),
+                    Scale::Full => TextCorpusConfig::full_scale(),
+                };
+                TextCorpusGenerator::new(config).generate_corpus(0xC0FFEE)
+            }
+            BenchDataset::Kb => {
+                let config = match scale {
+                    Scale::Smoke => FeatureConfig {
+                        num_images: 2_000,
+                        num_features: 512,
+                        latent_factors: 16,
+                        activation_rate: 0.08,
+                    },
+                    Scale::Default => FeatureConfig::default(),
+                    Scale::Full => FeatureConfig::full_scale(),
+                };
+                FeatureVectorGenerator::new(config).generate_dataset(0xC0FFEE)
+            }
+            BenchDataset::St => {
+                let config = match scale {
+                    Scale::Smoke => CorrelatedConfig {
+                        cardinality: 3_000,
+                        dimensionality: 20,
+                        correlation: 0.5,
+                    },
+                    Scale::Default => CorrelatedConfig::default(),
+                    Scale::Full => CorrelatedConfig::full_scale(),
+                };
+                CorrelatedGenerator::new(config).generate_dataset(0xC0FFEE)
+            }
+        }
+    }
+
+    /// How query dimensions are selected for this dataset.
+    pub fn selection(&self) -> DimSelection {
+        match self {
+            BenchDataset::Wsj => DimSelection::PopularityBiased,
+            _ => DimSelection::Uniform,
+        }
+    }
+
+    /// Builds the index plus a workload of `num_queries` queries with the
+    /// given `qlen` and `k`.
+    pub fn prepare(
+        &self,
+        scale: Scale,
+        qlen: usize,
+        k: usize,
+        num_queries: usize,
+    ) -> IrResult<(TopKIndex, QueryWorkload)> {
+        let dataset = self.generate(scale);
+        let index = TopKIndex::build_in_memory(&dataset)?;
+        let workload = QueryWorkload::generate(
+            &dataset,
+            &WorkloadConfig {
+                qlen,
+                k,
+                num_queries,
+                min_postings: (2 * k).max(20),
+                selection: self.selection(),
+                equal_weights: false,
+            },
+            0xBEEF,
+        )?;
+        Ok((index, workload))
+    }
+
+    /// Number of queries to average over at the given scale (the paper uses
+    /// 100).
+    pub fn queries_per_point(scale: Scale) -> usize {
+        match scale {
+            Scale::Smoke => 5,
+            Scale::Default => 25,
+            Scale::Full => 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_prepares_all_datasets() {
+        for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
+            let (index, workload) = dataset.prepare(Scale::Smoke, 3, 10, 2).unwrap();
+            assert!(index.cardinality() >= 2_000, "{}", dataset.name());
+            assert_eq!(workload.len(), 2);
+        }
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_smoke() {
+        std::env::remove_var("IR_BENCH_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Smoke);
+    }
+}

@@ -1,0 +1,166 @@
+//! Lemma 1: when does a weight deviation preserve a pairwise score order?
+//!
+//! For tuples `d_α` (currently scoring at least as high) and `d_β`, and a
+//! deviation `δq_j` of weight `q_j`, the order `S(d_β, q) ≤ S(d_α, q)` is
+//! preserved iff `δq_j · (d_βj − d_αj) ≤ S(d_α, q) − S(d_β, q)`. Hence the
+//! challenger `d_β` constrains
+//!
+//! * the **upper** bound of the immutable region when `d_βj > d_αj`
+//!   (Formula 2): `u_j ≤ (S(d_α) − S(d_β)) / (d_βj − d_αj)`,
+//! * the **lower** bound when `d_βj < d_αj` (Formula 3):
+//!   `l_j ≥ (S(d_α) − S(d_β)) / (d_βj − d_αj)`,
+//! * nothing when the two coordinates are equal (the score difference does
+//!   not depend on `q_j`).
+
+use serde::{Deserialize, Serialize};
+
+/// A tuple's view in one query dimension: its current score and its
+/// coordinate in that dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoreCoord {
+    /// The current score `S(d, q)`.
+    pub score: f64,
+    /// The coordinate `d_j` in the dimension under consideration.
+    pub coord: f64,
+}
+
+impl ScoreCoord {
+    /// Convenience constructor.
+    pub fn new(score: f64, coord: f64) -> Self {
+        ScoreCoord { score, coord }
+    }
+}
+
+/// Which bound (if any) a challenger constrains, and to what value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Lemma1Bound {
+    /// The challenger caps the upper bound at the given deviation.
+    Upper(f64),
+    /// The challenger raises the lower bound to the given deviation.
+    Lower(f64),
+    /// The challenger imposes no constraint (equal coordinates).
+    None,
+}
+
+/// Computes the bound imposed by `challenger` on the region of the anchor
+/// (`anchor` currently scores at least as high as `challenger`).
+pub fn lemma1_bound(anchor: ScoreCoord, challenger: ScoreCoord) -> Lemma1Bound {
+    let coord_diff = challenger.coord - anchor.coord;
+    if coord_diff == 0.0 {
+        return Lemma1Bound::None;
+    }
+    let bound = (anchor.score - challenger.score) / coord_diff;
+    if coord_diff > 0.0 {
+        Lemma1Bound::Upper(bound)
+    } else {
+        Lemma1Bound::Lower(bound)
+    }
+}
+
+/// Applies Lemma 1 to a running `(l_j, u_j)` pair, tightening whichever bound
+/// the challenger constrains. Returns `true` if a bound actually moved.
+pub fn lemma1_tighten(
+    anchor: ScoreCoord,
+    challenger: ScoreCoord,
+    lower: &mut f64,
+    upper: &mut f64,
+) -> bool {
+    match lemma1_bound(anchor, challenger) {
+        Lemma1Bound::Upper(b) if b < *upper => {
+            *upper = b;
+            true
+        }
+        Lemma1Bound::Lower(b) if b > *lower => {
+            *lower = b;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_dimension_1_bounds() {
+        // Query q = <0.8, 0.5>; dimension 1 (index 0).
+        // d2 (score 0.81, coord 0.7) is the anchor, d1 (0.80, 0.8) the
+        // challenger: d1 has the larger coordinate, so it caps u_1 at
+        // (0.81 - 0.80) / (0.8 - 0.7) = 0.1.
+        let d2 = ScoreCoord::new(0.81, 0.7);
+        let d1 = ScoreCoord::new(0.80, 0.8);
+        match lemma1_bound(d2, d1) {
+            Lemma1Bound::Upper(b) => assert!((b - 0.1).abs() < 1e-12),
+            other => panic!("expected an upper bound, got {other:?}"),
+        }
+        // d1 (0.80, 0.8) anchor vs d3 (0.48, 0.1) challenger: smaller
+        // coordinate, so it raises l_1 to (0.80 - 0.48)/(0.1 - 0.8) = -16/35.
+        let d3 = ScoreCoord::new(0.48, 0.1);
+        match lemma1_bound(d1, d3) {
+            Lemma1Bound::Lower(b) => assert!((b + 16.0 / 35.0).abs() < 1e-12),
+            other => panic!("expected a lower bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_example_dimension_2_bounds() {
+        // Dimension 2 (index 1): d2 coord 0.5, d1 coord 0.32, d3 coord 0.8.
+        // d2 anchor vs d1 challenger: d1's coordinate is smaller, so it
+        // raises l_2 to (0.81-0.80)/(0.32-0.5) = -1/18.
+        let d2 = ScoreCoord::new(0.81, 0.5);
+        let d1 = ScoreCoord::new(0.80, 0.32);
+        match lemma1_bound(d2, d1) {
+            Lemma1Bound::Lower(b) => assert!((b + 1.0 / 18.0).abs() < 1e-12),
+            other => panic!("expected a lower bound, got {other:?}"),
+        }
+        // d1 anchor vs d3 challenger: larger coordinate, caps u_2 at
+        // (0.80-0.48)/(0.8-0.32) = 2/3.
+        let d3 = ScoreCoord::new(0.48, 0.8);
+        match lemma1_bound(d1, d3) {
+            Lemma1Bound::Upper(b) => assert!((b - 2.0 / 3.0).abs() < 1e-12),
+            other => panic!("expected an upper bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_coordinates_impose_nothing() {
+        let a = ScoreCoord::new(0.9, 0.4);
+        let b = ScoreCoord::new(0.3, 0.4);
+        assert_eq!(lemma1_bound(a, b), Lemma1Bound::None);
+        let (mut lo, mut hi) = (-0.5, 0.5);
+        assert!(!lemma1_tighten(a, b, &mut lo, &mut hi));
+        assert_eq!((lo, hi), (-0.5, 0.5));
+    }
+
+    #[test]
+    fn tighten_only_moves_bounds_inward() {
+        let anchor = ScoreCoord::new(0.8, 0.5);
+        // A challenger whose cap is looser than the current bound must not
+        // move it.
+        let weak = ScoreCoord::new(0.1, 0.9); // upper cap (0.7)/(0.4) = 1.75
+        let (mut lo, mut hi) = (-0.5, 0.5);
+        assert!(!lemma1_tighten(anchor, weak, &mut lo, &mut hi));
+        assert_eq!(hi, 0.5);
+        // A stronger challenger does move it.
+        let strong = ScoreCoord::new(0.75, 0.9); // cap 0.05/0.4 = 0.125
+        assert!(lemma1_tighten(anchor, strong, &mut lo, &mut hi));
+        assert!((hi - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preservation_holds_inside_and_breaks_outside_the_bound() {
+        // Verify the *semantics* of the bound: inside it the anchor stays
+        // ahead, beyond it the challenger overtakes.
+        let anchor = ScoreCoord::new(0.81, 0.7);
+        let challenger = ScoreCoord::new(0.80, 0.8);
+        let Lemma1Bound::Upper(u) = lemma1_bound(anchor, challenger) else {
+            panic!("expected upper bound");
+        };
+        let score_at = |sc: ScoreCoord, delta: f64| sc.score + delta * sc.coord;
+        let inside = u - 1e-6;
+        assert!(score_at(anchor, inside) >= score_at(challenger, inside));
+        let outside = u + 1e-6;
+        assert!(score_at(anchor, outside) < score_at(challenger, outside));
+    }
+}

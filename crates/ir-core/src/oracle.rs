@@ -1,0 +1,215 @@
+//! An exhaustive reference implementation used to validate the algorithms.
+//!
+//! The oracle works directly on the in-memory dataset, with no index, no
+//! candidate list and no pruning: for a query dimension it collects *every*
+//! pairwise score crossing over the weight-deviation domain, evaluates the
+//! exact ordered top-k between consecutive crossings, and reads the region
+//! boundaries off the points where the result changes. It is `O(n² log n)`
+//! per dimension and therefore only suitable for tests — which is exactly
+//! its purpose: every production algorithm must reproduce its output.
+
+use crate::config::PerturbationMode;
+use crate::region::WeightRegion;
+use ir_geometry::Interval;
+use ir_types::{score_cmp, Dataset, DimId, QueryVector, RankedTuple, TupleId};
+
+/// Exhaustive recomputation of top-k results under weight deviations.
+pub struct ExhaustiveOracle<'a> {
+    dataset: &'a Dataset,
+    query: QueryVector,
+}
+
+/// The oracle's answer for one dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleRegions {
+    /// The immutable region around deviation zero.
+    pub immutable: Interval,
+    /// All regions (up to `φ` on each side of the immutable region), sorted
+    /// by deviation.
+    pub regions: Vec<WeightRegion>,
+    /// Index of the region containing deviation zero.
+    pub current_region: usize,
+}
+
+impl<'a> ExhaustiveOracle<'a> {
+    /// Creates an oracle for a dataset/query pair.
+    pub fn new(dataset: &'a Dataset, query: QueryVector) -> Self {
+        ExhaustiveOracle { dataset, query }
+    }
+
+    /// The ordered top-k result when dimension `dim`'s weight deviates by
+    /// `delta` (all other weights fixed).
+    pub fn topk_at(&self, dim: DimId, delta: f64) -> Vec<TupleId> {
+        let mut ranked: Vec<RankedTuple> = self
+            .dataset
+            .iter()
+            .map(|(id, tuple)| {
+                let score = self.query.score(tuple) + delta * tuple.get(dim);
+                RankedTuple::new(id, score)
+            })
+            .collect();
+        ranked.sort_by(score_cmp);
+        ranked
+            .into_iter()
+            .take(self.query.k())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Computes the exact region structure for dimension `dim`, reporting up
+    /// to `phi` regions on each side of the immutable region.
+    pub fn regions(&self, dim: DimId, phi: usize, mode: PerturbationMode) -> OracleRegions {
+        let weight = self.query.weight(dim);
+        let lo = -weight;
+        let hi = 1.0 - weight;
+
+        // Candidate boundaries: every pairwise score crossing inside the
+        // domain (the result can only change where two scores swap order).
+        let views: Vec<(f64, f64)> = self
+            .dataset
+            .iter()
+            .map(|(_, t)| (self.query.score(t), t.get(dim)))
+            .collect();
+        let mut cuts: Vec<f64> = vec![lo, hi];
+        for i in 0..views.len() {
+            for j in (i + 1)..views.len() {
+                let (si, ci) = views[i];
+                let (sj, cj) = views[j];
+                if ci == cj {
+                    continue;
+                }
+                let x = (sj - si) / (ci - cj);
+                if x > lo && x < hi {
+                    cuts.push(x);
+                }
+            }
+        }
+        cuts.sort_by(|a, b| a.total_cmp(b));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        // Evaluate the ordered result at the midpoint of every elementary
+        // interval and merge equal neighbours into maximal regions.
+        let mut raw: Vec<WeightRegion> = Vec::new();
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b - a <= 0.0 {
+                continue;
+            }
+            let mid = 0.5 * (a + b);
+            let result = self.topk_at(dim, mid);
+            match raw.last_mut() {
+                Some(prev) if Self::same(&prev.result, &result, mode) => prev.delta_hi = b,
+                _ => raw.push(WeightRegion {
+                    delta_lo: a,
+                    delta_hi: b,
+                    result,
+                }),
+            }
+        }
+        if raw.is_empty() {
+            raw.push(WeightRegion {
+                delta_lo: lo,
+                delta_hi: hi,
+                result: self.topk_at(dim, 0.0),
+            });
+        }
+
+        let current = raw
+            .iter()
+            .position(|r| r.delta_lo <= 0.0 && 0.0 <= r.delta_hi)
+            .unwrap_or(0);
+        let first = current.saturating_sub(phi);
+        let last = (current + phi).min(raw.len() - 1);
+        let regions: Vec<WeightRegion> = raw[first..=last].to_vec();
+        let current_region = current - first;
+        let immutable = Interval::new(
+            regions[current_region].delta_lo,
+            regions[current_region].delta_hi,
+        );
+        OracleRegions {
+            immutable,
+            regions,
+            current_region,
+        }
+    }
+
+    fn same(a: &[TupleId], b: &[TupleId], mode: PerturbationMode) -> bool {
+        match mode {
+            PerturbationMode::WithReorderings => a == b,
+            PerturbationMode::CompositionOnly => {
+                let mut x = a.to_vec();
+                let mut y = b.to_vec();
+                x.sort_unstable();
+                y.sort_unstable();
+                x == y
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::Dataset;
+
+    #[test]
+    fn oracle_reproduces_running_example_regions() {
+        let dataset = Dataset::running_example();
+        let query = QueryVector::running_example();
+        let oracle = ExhaustiveOracle::new(&dataset, query);
+
+        let d0 = oracle.regions(DimId(0), 0, PerturbationMode::WithReorderings);
+        assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+        assert!((d0.immutable.hi - 0.1).abs() < 1e-9);
+
+        let d1 = oracle.regions(DimId(1), 0, PerturbationMode::WithReorderings);
+        assert!((d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9);
+        assert!((d1.immutable.hi - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_phi_regions_match_section_1() {
+        let dataset = Dataset::running_example();
+        let query = QueryVector::running_example();
+        let oracle = ExhaustiveOracle::new(&dataset, query);
+        let d0 = oracle.regions(DimId(0), 1, PerturbationMode::WithReorderings);
+        assert_eq!(d0.regions.len(), 3);
+        // Left neighbour: (-0.55, -16/35) with result [d2, d3].
+        let left = &d0.regions[d0.current_region - 1];
+        assert!((left.delta_lo + 0.55).abs() < 1e-9);
+        assert_eq!(left.result, vec![TupleId(1), TupleId(2)]);
+        // Right neighbour: (0.1, 0.2) with result [d1, d2].
+        let right = &d0.regions[d0.current_region + 1];
+        assert!((right.delta_hi - 0.2).abs() < 1e-9);
+        assert_eq!(right.result, vec![TupleId(0), TupleId(1)]);
+    }
+
+    #[test]
+    fn topk_at_zero_matches_query_result() {
+        let dataset = Dataset::running_example();
+        let query = QueryVector::running_example();
+        let oracle = ExhaustiveOracle::new(&dataset, query);
+        assert_eq!(
+            oracle.topk_at(DimId(0), 0.0),
+            vec![TupleId(1), TupleId(0)]
+        );
+        // Past the upper bound of IR_1 the order flips.
+        assert_eq!(
+            oracle.topk_at(DimId(0), 0.15),
+            vec![TupleId(0), TupleId(1)]
+        );
+    }
+
+    #[test]
+    fn composition_only_regions_are_wider_or_equal() {
+        let dataset = Dataset::running_example();
+        let query = QueryVector::running_example();
+        let oracle = ExhaustiveOracle::new(&dataset, query);
+        for dim in [DimId(0), DimId(1)] {
+            let strict = oracle.regions(dim, 0, PerturbationMode::WithReorderings);
+            let loose = oracle.regions(dim, 0, PerturbationMode::CompositionOnly);
+            assert!(loose.immutable.lo <= strict.immutable.lo + 1e-12);
+            assert!(loose.immutable.hi >= strict.immutable.hi - 1e-12);
+        }
+    }
+}

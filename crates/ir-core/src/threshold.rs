@@ -1,0 +1,348 @@
+//! Candidate thresholding (Algorithm 3 of the paper) for `φ = 0`.
+//!
+//! Candidates are probed from three sorted lists — `SLS` (by decreasing
+//! score), `SLj↓` (coordinates above `d_kj`, decreasing) and `SLj↑`
+//! (coordinates below `d_kj`, increasing) — in a round-robin fashion. The
+//! scores/coordinates at the current list positions bound the best possible
+//! bound-update any *unseen* candidate could achieve, which yields a safe
+//! early-termination condition for each of the two searches (`l_j` and
+//! `u_j`).
+
+use crate::lemma::{lemma1_tighten, ScoreCoord};
+use ir_types::{IrResult, TupleId};
+use std::collections::HashSet;
+
+/// A candidate as the threshold machinery sees it: id, current score, and
+/// its (cached) coordinate in the dimension under consideration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandView {
+    /// Tuple id.
+    pub id: TupleId,
+    /// Current score `S(d_β, q)`.
+    pub score: f64,
+    /// Coordinate `d_βj`.
+    pub coord: f64,
+}
+
+/// Mutable state of the two bounds being tightened, including which tuple
+/// last updated each of them (the provenance used to report the perturbation
+/// at the region boundary).
+#[derive(Debug)]
+pub struct BoundState {
+    /// Current lower bound `l_j`.
+    pub lower: f64,
+    /// Current upper bound `u_j`.
+    pub upper: f64,
+    /// Tuple that last tightened the lower bound.
+    pub lower_cause: Option<TupleId>,
+    /// Tuple that last tightened the upper bound.
+    pub upper_cause: Option<TupleId>,
+}
+
+impl BoundState {
+    /// Creates the widest possible state for a weight `q_j`.
+    pub fn widest(weight: f64) -> Self {
+        BoundState {
+            lower: -weight,
+            upper: 1.0 - weight,
+            lower_cause: None,
+            upper_cause: None,
+        }
+    }
+
+    /// Applies Lemma 1 with `anchor` (a result tuple) against `challenger`,
+    /// recording `cause` as the provenance if a bound moves.
+    pub fn tighten(&mut self, anchor: ScoreCoord, challenger: ScoreCoord, cause: TupleId) -> bool {
+        let before = (self.lower, self.upper);
+        let moved = lemma1_tighten(anchor, challenger, &mut self.lower, &mut self.upper);
+        if moved {
+            if self.upper < before.1 {
+                self.upper_cause = Some(cause);
+            }
+            if self.lower > before.0 {
+                self.lower_cause = Some(cause);
+            }
+        }
+        moved
+    }
+}
+
+fn pull_next(list: &[usize], pos: &mut usize, processed: &HashSet<usize>) -> Option<usize> {
+    while *pos < list.len() {
+        let idx = list[*pos];
+        *pos += 1;
+        if !processed.contains(&idx) {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+fn peek_value(list: &[usize], pos: usize) -> Option<usize> {
+    list.get(pos).copied()
+}
+
+/// Runs the 3-list thresholded Phase 2 over `cands`, tightening `bounds`
+/// against the k-th result tuple `dk`.
+///
+/// `evaluate` is invoked exactly once per candidate actually checked via
+/// Lemma 1 (it performs the random access and is where the caller counts
+/// evaluated candidates); it returns the candidate's coordinate in the
+/// current dimension.
+pub fn threshold_phase2(
+    dk: ScoreCoord,
+    cands: &[CandView],
+    bounds: &mut BoundState,
+    mut evaluate: impl FnMut(TupleId) -> IrResult<f64>,
+) -> IrResult<()> {
+    if cands.is_empty() {
+        return Ok(());
+    }
+
+    // SLS: all candidates by decreasing score (ties by id for determinism).
+    let mut sls: Vec<usize> = (0..cands.len()).collect();
+    sls.sort_by(|&a, &b| {
+        cands[b]
+            .score
+            .total_cmp(&cands[a].score)
+            .then_with(|| cands[a].id.cmp(&cands[b].id))
+    });
+    // SLj↓: coordinates strictly above d_kj, by decreasing coordinate.
+    let mut sl_down: Vec<usize> = (0..cands.len())
+        .filter(|&i| cands[i].coord > dk.coord)
+        .collect();
+    sl_down.sort_by(|&a, &b| {
+        cands[b]
+            .coord
+            .total_cmp(&cands[a].coord)
+            .then_with(|| cands[a].id.cmp(&cands[b].id))
+    });
+    // SLj↑: coordinates strictly below d_kj, by increasing coordinate.
+    let mut sl_up: Vec<usize> = (0..cands.len())
+        .filter(|&i| cands[i].coord < dk.coord)
+        .collect();
+    sl_up.sort_by(|&a, &b| {
+        cands[a]
+            .coord
+            .total_cmp(&cands[b].coord)
+            .then_with(|| cands[a].id.cmp(&cands[b].id))
+    });
+
+    let mut processed: HashSet<usize> = HashSet::new();
+    let (mut pos_s, mut pos_down, mut pos_up) = (0usize, 0usize, 0usize);
+    let mut search_lower = true;
+    let mut search_upper = true;
+
+    let check = |idx: usize,
+                     bounds: &mut BoundState,
+                     evaluate: &mut dyn FnMut(TupleId) -> IrResult<f64>|
+     -> IrResult<()> {
+        let cand = cands[idx];
+        let coord = evaluate(cand.id)?;
+        bounds.tighten(dk, ScoreCoord::new(cand.score, coord), cand.id);
+        Ok(())
+    };
+
+    while search_lower || search_upper {
+        // 1. Pull the next candidate from SLS and apply it to whichever
+        //    search its coordinate belongs to (if that search is active).
+        if let Some(idx) = pull_next(&sls, &mut pos_s, &processed) {
+            processed.insert(idx);
+            let coord = cands[idx].coord;
+            if coord < dk.coord && search_lower {
+                check(idx, bounds, &mut evaluate)?;
+            } else if coord > dk.coord && search_upper {
+                check(idx, bounds, &mut evaluate)?;
+            }
+        }
+
+        // 2. Lower-bound search: termination test, else pull from SLj↑.
+        if search_lower {
+            let t_up = peek_value(&sl_up, pos_up).map(|i| cands[i].coord);
+            let t_s = peek_value(&sls, pos_s).map(|i| cands[i].score);
+            let complete = match (t_up, t_s) {
+                (None, _) => true,
+                (Some(t_up), _) if t_up >= dk.coord => true,
+                (_, None) => true,
+                (Some(t_up), Some(t_s)) => (dk.score - t_s) / (t_up - dk.coord) <= bounds.lower,
+            };
+            if complete {
+                search_lower = false;
+            } else if let Some(idx) = pull_next(&sl_up, &mut pos_up, &processed) {
+                processed.insert(idx);
+                check(idx, bounds, &mut evaluate)?;
+            } else {
+                search_lower = false;
+            }
+        }
+
+        // 3. Upper-bound search: termination test, else pull from SLj↓.
+        if search_upper {
+            let t_down = peek_value(&sl_down, pos_down).map(|i| cands[i].coord);
+            let t_s = peek_value(&sls, pos_s).map(|i| cands[i].score);
+            let complete = match (t_down, t_s) {
+                (None, _) => true,
+                (Some(t_down), _) if t_down <= dk.coord => true,
+                (_, None) => true,
+                (Some(t_down), Some(t_s)) => (dk.score - t_s) / (t_down - dk.coord) >= bounds.upper,
+            };
+            if complete {
+                search_upper = false;
+            } else if let Some(idx) = pull_next(&sl_down, &mut pos_down, &processed) {
+                processed.insert(idx);
+                check(idx, bounds, &mut evaluate)?;
+            } else {
+                search_upper = false;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reference Phase 2: evaluates *every* candidate (what Scan and Prune do on
+/// their respective candidate sets).
+pub fn exhaustive_phase2(
+    dk: ScoreCoord,
+    cands: &[CandView],
+    bounds: &mut BoundState,
+    mut evaluate: impl FnMut(TupleId) -> IrResult<f64>,
+) -> IrResult<()> {
+    for cand in cands {
+        let coord = evaluate(cand.id)?;
+        bounds.tighten(dk, ScoreCoord::new(cand.score, coord), cand.id);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(id: u32, score: f64, coord: f64) -> CandView {
+        CandView {
+            id: TupleId(id),
+            score,
+            coord,
+        }
+    }
+
+    /// Thresholded and exhaustive Phase 2 must reach identical bounds; the
+    /// thresholded variant must not evaluate more candidates.
+    fn assert_equivalent(dk: ScoreCoord, weight: f64, cands: &[CandView]) {
+        let mut exhaustive = BoundState::widest(weight);
+        let mut count_ex = 0u64;
+        exhaustive_phase2(dk, cands, &mut exhaustive, |id| {
+            count_ex += 1;
+            Ok(cands.iter().find(|c| c.id == id).unwrap().coord)
+        })
+        .unwrap();
+
+        let mut thresholded = BoundState::widest(weight);
+        let mut count_th = 0u64;
+        threshold_phase2(dk, cands, &mut thresholded, |id| {
+            count_th += 1;
+            Ok(cands.iter().find(|c| c.id == id).unwrap().coord)
+        })
+        .unwrap();
+
+        assert!(
+            (exhaustive.lower - thresholded.lower).abs() < 1e-12,
+            "lower bounds differ: {} vs {}",
+            exhaustive.lower,
+            thresholded.lower
+        );
+        assert!(
+            (exhaustive.upper - thresholded.upper).abs() < 1e-12,
+            "upper bounds differ: {} vs {}",
+            exhaustive.upper,
+            thresholded.upper
+        );
+        assert!(count_th <= count_ex, "thresholding evaluated more ({count_th} > {count_ex})");
+    }
+
+    #[test]
+    fn running_example_dimension_1_phase2() {
+        // dk = d1 (score 0.80, coord 0.8 in dim 1); the only candidate is d3
+        // (score 0.48, coord 0.1). Starting from the Phase-1 interim region
+        // [-0.8, 0.1), Phase 2 must raise the lower bound to -16/35.
+        let dk = ScoreCoord::new(0.80, 0.8);
+        let cands = vec![cv(2, 0.48, 0.1)];
+        let mut bounds = BoundState {
+            lower: -0.8,
+            upper: 0.1,
+            lower_cause: None,
+            upper_cause: None,
+        };
+        threshold_phase2(dk, &cands, &mut bounds, |_| Ok(0.1)).unwrap();
+        assert!((bounds.lower + 16.0 / 35.0).abs() < 1e-12);
+        assert!((bounds.upper - 0.1).abs() < 1e-12);
+        assert_eq!(bounds.lower_cause, Some(TupleId(2)));
+        assert_eq!(bounds.upper_cause, None);
+    }
+
+    #[test]
+    fn equivalence_on_mixed_candidates() {
+        let dk = ScoreCoord::new(0.7, 0.4);
+        let cands = vec![
+            cv(10, 0.65, 0.9),
+            cv(11, 0.6, 0.1),
+            cv(12, 0.5, 0.0),
+            cv(13, 0.45, 0.7),
+            cv(14, 0.3, 0.4), // same coordinate as dk: affects nothing
+            cv(15, 0.2, 0.95),
+            cv(16, 0.1, 0.05),
+        ];
+        assert_equivalent(dk, 0.5, &cands);
+    }
+
+    #[test]
+    fn equivalence_on_pseudorandom_inputs() {
+        // Deterministic pseudo-random stream (no external RNG needed here).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..25 {
+            let dk = ScoreCoord::new(0.4 + 0.5 * next(), next());
+            let n = 3 + (trial % 17);
+            let cands: Vec<CandView> = (0..n)
+                .map(|i| cv(100 + i as u32, dk.score * next(), next()))
+                .collect();
+            assert_equivalent(dk, 0.5, &cands);
+        }
+    }
+
+    #[test]
+    fn thresholding_skips_low_potential_candidates() {
+        // One decisive candidate and many hopeless ones (tiny scores and
+        // coordinates close to dk's): thresholding must terminate without
+        // evaluating all of them.
+        let dk = ScoreCoord::new(0.9, 0.5);
+        let mut cands = vec![cv(0, 0.89, 0.95)];
+        for i in 1..200 {
+            cands.push(cv(i, 0.01, 0.5 + 1e-6 * i as f64));
+        }
+        let mut bounds = BoundState::widest(0.5);
+        let mut evaluated = 0u64;
+        threshold_phase2(dk, &cands, &mut bounds, |id| {
+            evaluated += 1;
+            Ok(cands.iter().find(|c| c.id == id).unwrap().coord)
+        })
+        .unwrap();
+        assert!(evaluated < 50, "evaluated {evaluated} of 200 candidates");
+        // And the bound is the one imposed by the decisive candidate.
+        assert!((bounds.upper - (0.9 - 0.89) / (0.95 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_noop() {
+        let mut bounds = BoundState::widest(0.3);
+        threshold_phase2(ScoreCoord::new(0.5, 0.2), &[], &mut bounds, |_| {
+            panic!("nothing to evaluate")
+        })
+        .unwrap();
+        assert_eq!(bounds.lower, -0.3);
+        assert_eq!(bounds.upper, 0.7);
+    }
+}

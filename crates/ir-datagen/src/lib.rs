@@ -1,0 +1,49 @@
+//! # ir-datagen
+//!
+//! Synthetic dataset and workload generators standing in for the three
+//! evaluation datasets of the paper (Section 7.1):
+//!
+//! * [`text::TextCorpusGenerator`] — a WSJ-like sparse TF-IDF document
+//!   corpus: Zipf-distributed vocabulary, log-normal document lengths, each
+//!   document touching only a handful of terms. Candidates of a multi-term
+//!   query overwhelmingly have a single non-zero query coordinate, the
+//!   structure Figure 6(a) shows and candidate pruning exploits.
+//! * [`features::FeatureVectorGenerator`] — a KB-like image-feature
+//!   collection: a low-rank latent-factor model with a sparsifying threshold
+//!   produces moderately correlated, moderately sparse non-negative feature
+//!   vectors, so all three candidate partitions are sizable (Figure 12).
+//! * [`correlated::CorrelatedGenerator`] — the ST synthetic dataset: dense
+//!   multivariate-normal tuples with pairwise correlation 0.5 (the paper's
+//!   `mvnrnd` construction), clustered along the main diagonal of the unit
+//!   cube, where `C^L_j` dominates and thresholding is the technique that
+//!   matters (Figures 6(b) and 11).
+//! * [`queries`] — query workload generation for each dataset kind.
+//!
+//! All generators are deterministic given a seed, so every experiment in the
+//! harness is reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlated;
+pub mod features;
+pub mod queries;
+pub mod text;
+pub mod zipf;
+
+pub use correlated::{CorrelatedConfig, CorrelatedGenerator};
+pub use features::{FeatureConfig, FeatureVectorGenerator};
+pub use queries::{QueryWorkload, WorkloadConfig};
+pub use text::{TextCorpusConfig, TextCorpusGenerator};
+pub use zipf::ZipfSampler;
+
+use ir_types::Dataset;
+
+/// A uniform interface over the three generators, so the experiment harness
+/// can be written against "a dataset kind" rather than a concrete generator.
+pub trait DatasetGenerator {
+    /// Generates the dataset deterministically from the given seed.
+    fn generate(&self, seed: u64) -> Dataset;
+    /// A short human-readable name ("WSJ-like", "KB-like", "ST").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,124 @@
+//! A simple Zipf sampler used by the text-corpus generator.
+//!
+//! Term popularity in real document collections follows a power law; the
+//! sampler draws term ranks with probability proportional to `1 / rank^s`
+//! using inverse-CDF lookup over a precomputed table (exact, no rejection).
+
+use rand::Rng;
+
+/// Zipf-distributed sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s` (`s = 1.0` is the
+    /// classic Zipf law). Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the sampler has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(pos) => pos,
+            Err(pos) => pos.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The probability mass of a rank.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.probability(r) <= z.probability(r - 1) + 1e-15);
+        }
+        assert_eq!(z.probability(500), 0.0);
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn sampling_respects_the_skew() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut head = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The 10 most popular ranks carry ~39% of the mass for s = 1, n = 1000.
+        let frac = head as f64 / draws as f64;
+        assert!(frac > 0.3 && frac < 0.5, "head fraction {frac}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.probability(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = ZipfSampler::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

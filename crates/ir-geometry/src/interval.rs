@@ -1,0 +1,113 @@
+//! Closed intervals of weight deviations.
+//!
+//! An immutable region is reported relative to the current weight, e.g.
+//! `(-16/35, 0.1)` in the running example. The interval type here is the
+//! plain numeric range; openness at the endpoints is a property of the
+//! perturbation that occurs *at* the endpoint and is tracked by the caller.
+
+use serde::{Deserialize, Serialize};
+
+/// A numeric interval `[lo, hi]` with `lo <= hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, panicking if `lo > hi` (beyond fp tolerance).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo <= hi + 1e-12,
+            "interval bounds out of order: [{lo}, {hi}]"
+        );
+        Interval {
+            lo: lo.min(hi),
+            hi,
+        }
+    }
+
+    /// The interval `[lo, hi]` clamped so that `lo <= hi` (used when two
+    /// independent tightening passes may cross due to rounding).
+    pub fn new_clamped(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            let mid = 0.5 * (lo + hi);
+            Interval { lo: mid, hi: mid }
+        }
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if `x` lies inside (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Intersection with another interval, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// True if the two intervals are equal within `tol` at both endpoints.
+    pub fn approx_eq(&self, other: &Interval, tol: f64) -> bool {
+        (self.lo - other.lo).abs() <= tol && (self.hi - other.hi).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_width() {
+        let i = Interval::new(-0.4, 0.1);
+        assert!((i.width() - 0.5).abs() < 1e-12);
+        assert!(i.contains(0.0));
+        assert!(i.contains(-0.4));
+        assert!(!i.contains(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval bounds out of order")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(0.5, -0.5);
+    }
+
+    #[test]
+    fn clamped_collapses_to_midpoint() {
+        let i = Interval::new_clamped(0.2, 0.1);
+        assert!((i.lo - 0.15).abs() < 1e-12);
+        assert_eq!(i.lo, i.hi);
+    }
+
+    #[test]
+    fn intersection_behaviour() {
+        let a = Interval::new(-1.0, 0.5);
+        let b = Interval::new(0.0, 2.0);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, Interval::new(0.0, 0.5));
+        let d = Interval::new(0.6, 0.7);
+        assert!(a.intersect(&d).is_none());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1e-10, 1.0 - 1e-10);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-12));
+    }
+}

@@ -1,0 +1,223 @@
+//! LRU buffer pool with I/O accounting.
+//!
+//! Every page access performed by the inverted-list cursors and the tuple
+//! store goes through a [`BufferPool`]. The pool keeps the most recently
+//! used pages in memory (classic LRU) and counts logical reads (requests),
+//! physical reads (misses that hit the page store) and writes. These counters
+//! are the raw material for the I/O metrics of the experiment harness.
+
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::pagestore::PageStore;
+use crate::stats::{IoStats, IoStatsSnapshot};
+use ir_types::{IrError, IrResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of pages the pool keeps cached (4 MiB with 4 KiB pages).
+pub const DEFAULT_POOL_CAPACITY: usize = 1024;
+
+struct Frame {
+    data: Arc<PageBuf>,
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// An LRU page cache in front of a [`PageStore`].
+pub struct BufferPool {
+    store: Arc<dyn PageStore>,
+    inner: Mutex<PoolInner>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with the default capacity.
+    pub fn new(store: Arc<dyn PageStore>) -> Self {
+        Self::with_capacity(store, DEFAULT_POOL_CAPACITY)
+    }
+
+    /// Creates a pool that caches at most `capacity` pages (minimum 1).
+    pub fn with_capacity(store: Arc<dyn PageStore>, capacity: usize) -> Self {
+        BufferPool {
+            store,
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &Arc<dyn PageStore> {
+        &self.store
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Reads a page through the cache. Records one logical read, plus one
+    /// physical read if the page was not cached.
+    pub fn read(&self, page: PageId) -> IrResult<Arc<PageBuf>> {
+        self.stats.record_logical_read();
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(frame) = inner.frames.get_mut(&page) {
+                frame.last_used = tick;
+                return Ok(Arc::clone(&frame.data));
+            }
+        }
+        // Miss: fetch outside the lock, then insert.
+        self.stats.record_physical_read();
+        let data = Arc::new(self.store.read_page(page)?);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.frames.len() >= inner.capacity {
+            Self::evict_lru(&mut inner);
+        }
+        inner.frames.insert(
+            page,
+            Frame {
+                data: Arc::clone(&data),
+                last_used: tick,
+            },
+        );
+        Ok(data)
+    }
+
+    /// Writes a page through the cache (write-through: the store is updated
+    /// immediately and the cached copy, if any, is refreshed).
+    pub fn write(&self, page: PageId, data: &[u8]) -> IrResult<()> {
+        if data.len() != PAGE_SIZE {
+            return Err(IrError::Storage(format!(
+                "buffer pool write expects {PAGE_SIZE} bytes, got {}",
+                data.len()
+            )));
+        }
+        self.store.write_page(page, data)?;
+        self.stats.record_write();
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(frame) = inner.frames.get_mut(&page) {
+            frame.data = Arc::new(data.to_vec().into_boxed_slice());
+            frame.last_used = tick;
+        }
+        Ok(())
+    }
+
+    /// Allocates fresh pages in the underlying store.
+    pub fn allocate(&self, count: u32) -> IrResult<PageId> {
+        self.store.allocate(count)
+    }
+
+    /// Drops every cached page (the counters are preserved).
+    pub fn clear_cache(&self) {
+        self.inner.lock().frames.clear();
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the I/O counters (the cache content is preserved).
+    pub fn reset_io_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn evict_lru(inner: &mut PoolInner) {
+        if let Some((&victim, _)) = inner
+            .frames
+            .iter()
+            .min_by_key(|(_, frame)| frame.last_used)
+        {
+            inner.frames.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::MemPageStore;
+
+    fn pool_with_pages(capacity: usize, pages: u32) -> BufferPool {
+        let store = Arc::new(MemPageStore::new());
+        store.allocate(pages).unwrap();
+        BufferPool::with_capacity(store, capacity)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let pool = pool_with_pages(4, 2);
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        let snap = pool.io_snapshot();
+        assert_eq!(snap.logical_reads, 3);
+        assert_eq!(snap.physical_reads, 2, "second read of page 0 is a hit");
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let pool = pool_with_pages(2, 3);
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        // Touch page 0 so page 1 becomes the LRU victim.
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(2)).unwrap(); // evicts page 1
+        assert_eq!(pool.cached_pages(), 2);
+        let before = pool.io_snapshot().physical_reads;
+        pool.read(PageId(0)).unwrap(); // still cached
+        assert_eq!(pool.io_snapshot().physical_reads, before);
+        pool.read(PageId(1)).unwrap(); // was evicted -> physical read
+        assert_eq!(pool.io_snapshot().physical_reads, before + 1);
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_store() {
+        let pool = pool_with_pages(2, 1);
+        pool.read(PageId(0)).unwrap();
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[5] = 77;
+        pool.write(PageId(0), &page).unwrap();
+        let cached = pool.read(PageId(0)).unwrap();
+        assert_eq!(cached[5], 77);
+        // Store sees it too.
+        assert_eq!(pool.store().read_page(PageId(0)).unwrap()[5], 77);
+        assert_eq!(pool.io_snapshot().pages_written, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_physical_rereads() {
+        let pool = pool_with_pages(4, 1);
+        pool.read(PageId(0)).unwrap();
+        pool.clear_cache();
+        pool.read(PageId(0)).unwrap();
+        assert_eq!(pool.io_snapshot().physical_reads, 2);
+    }
+
+    #[test]
+    fn invalid_write_size_is_rejected() {
+        let pool = pool_with_pages(1, 1);
+        assert!(pool.write(PageId(0), &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_read_propagates_error() {
+        let pool = pool_with_pages(1, 1);
+        assert!(pool.read(PageId(99)).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! [`TopKIndex`]: the physical design the query algorithms operate on.
+//!
+//! An index bundles, for one dataset,
+//!
+//! * one inverted list per populated dimension (sorted access),
+//! * the external tuple file (random access),
+//! * the buffer pool and its I/O counters,
+//! * the dataset-level metadata (cardinality, dimensionality).
+//!
+//! Building the index corresponds to the offline preparation step of the
+//! paper's system model (Section 7.1); querying it is what TA, Scan and CPT
+//! do online.
+
+use crate::buffer::{BufferPool, DEFAULT_POOL_CAPACITY};
+use crate::inverted::{write_list, InvertedListCursor, ListDirectoryEntry};
+use crate::pagestore::{FilePageStore, MemPageStore, PageStore};
+use crate::stats::{IoConfig, IoStatsSnapshot};
+use crate::tuplestore::{write_tuples, TupleReader, TupleRegion};
+use ir_types::{Dataset, DimId, IrError, IrResult, SparseVector, TupleId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which device backs the page store.
+#[derive(Clone, Debug, Default)]
+pub enum StorageBackend {
+    /// Pages in memory (default); I/O is still accounted at page granularity.
+    #[default]
+    Memory,
+    /// Pages in a flat file under the given directory (`index.pages`).
+    Disk(PathBuf),
+}
+
+/// Builder for [`TopKIndex`].
+#[derive(Debug)]
+pub struct IndexBuilder {
+    backend: StorageBackend,
+    pool_capacity: usize,
+    io_config: IoConfig,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        IndexBuilder {
+            backend: StorageBackend::Memory,
+            pool_capacity: DEFAULT_POOL_CAPACITY,
+            io_config: IoConfig::default(),
+        }
+    }
+}
+
+impl IndexBuilder {
+    /// Starts a builder with the default (memory) backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the storage backend.
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the buffer-pool capacity in pages.
+    pub fn pool_capacity(mut self, pages: usize) -> Self {
+        self.pool_capacity = pages;
+        self
+    }
+
+    /// Sets the I/O latency model reported by the index.
+    pub fn io_config(mut self, config: IoConfig) -> Self {
+        self.io_config = config;
+        self
+    }
+
+    /// Builds the physical index from an in-memory dataset.
+    pub fn build(self, dataset: &Dataset) -> IrResult<TopKIndex> {
+        let store: Arc<dyn PageStore> = match &self.backend {
+            StorageBackend::Memory => Arc::new(MemPageStore::new()),
+            StorageBackend::Disk(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Arc::new(FilePageStore::create(dir.join("index.pages"))?)
+            }
+        };
+        let pool = Arc::new(BufferPool::with_capacity(store, self.pool_capacity));
+
+        // Collect the per-dimension postings.
+        let mut postings: HashMap<DimId, Vec<(TupleId, f64)>> = HashMap::new();
+        for (id, tuple) in dataset.iter() {
+            for (dim, value) in tuple.iter() {
+                postings.entry(dim).or_default().push((id, value));
+            }
+        }
+        // Sort each list by decreasing value, ties by increasing tuple id, and
+        // write it out. Dimensions are processed in increasing id order so the
+        // physical layout is deterministic.
+        let mut dims: Vec<DimId> = postings.keys().copied().collect();
+        dims.sort_unstable();
+        let mut lists: HashMap<DimId, ListDirectoryEntry> = HashMap::with_capacity(dims.len());
+        for dim in dims {
+            let mut entries = postings.remove(&dim).expect("dimension present");
+            entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let directory = write_list(&pool, dim, &entries)?;
+            lists.insert(dim, directory);
+        }
+
+        let tuple_region: TupleRegion = write_tuples(&pool, dataset)?;
+
+        // Index construction is an offline step: wipe the build-time I/O so
+        // query measurements start from a clean slate (and from a cold cache).
+        pool.clear_cache();
+        pool.reset_io_stats();
+
+        Ok(TopKIndex {
+            pool,
+            lists,
+            tuple_region,
+            cardinality: dataset.cardinality(),
+            dimensionality: dataset.dimensionality(),
+            io_config: self.io_config,
+        })
+    }
+}
+
+/// The physical top-k index: inverted lists + tuple file + buffer pool.
+pub struct TopKIndex {
+    pool: Arc<BufferPool>,
+    lists: HashMap<DimId, ListDirectoryEntry>,
+    tuple_region: TupleRegion,
+    cardinality: usize,
+    dimensionality: u32,
+    io_config: IoConfig,
+}
+
+impl TopKIndex {
+    /// Builds an index with all defaults (memory backend).
+    pub fn build_in_memory(dataset: &Dataset) -> IrResult<Self> {
+        IndexBuilder::new().build(dataset)
+    }
+
+    /// Number of tuples indexed.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Dataset dimensionality `m`.
+    pub fn dimensionality(&self) -> u32 {
+        self.dimensionality
+    }
+
+    /// The I/O latency model configured for this index.
+    pub fn io_config(&self) -> IoConfig {
+        self.io_config
+    }
+
+    /// The buffer pool (shared with cursors and readers).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Length of dimension `dim`'s inverted list (zero when no tuple has a
+    /// non-zero coordinate there).
+    pub fn list_len(&self, dim: DimId) -> usize {
+        self.lists.get(&dim).map_or(0, |d| d.num_entries as usize)
+    }
+
+    /// Directory entry of a dimension's list, if it exists.
+    pub fn list_directory(&self, dim: DimId) -> Option<ListDirectoryEntry> {
+        self.lists.get(&dim).copied()
+    }
+
+    /// Opens a sorted-access cursor at the head of dimension `dim`'s list.
+    ///
+    /// A dimension with no postings yields an empty cursor (never an error):
+    /// a query weight on such a dimension is legal, it simply contributes
+    /// nothing to any score.
+    pub fn list_cursor(&self, dim: DimId) -> IrResult<InvertedListCursor> {
+        if dim.0 >= self.dimensionality {
+            return Err(IrError::UnknownDimension {
+                dim: dim.0,
+                dimensionality: self.dimensionality,
+            });
+        }
+        let directory = self.lists.get(&dim).copied().unwrap_or(ListDirectoryEntry {
+            dim,
+            first_page: crate::page::PageId(0),
+            num_entries: 0,
+        });
+        Ok(InvertedListCursor::new(Arc::clone(&self.pool), directory))
+    }
+
+    /// Fetches the full sparse vector of a tuple (random access).
+    pub fn fetch_tuple(&self, id: TupleId) -> IrResult<SparseVector> {
+        TupleReader::new(Arc::clone(&self.pool), self.tuple_region.clone()).fetch(id)
+    }
+
+    /// Creates a long-lived tuple reader sharing this index's pool.
+    pub fn tuple_reader(&self) -> TupleReader {
+        TupleReader::new(Arc::clone(&self.pool), self.tuple_region.clone())
+    }
+
+    /// Snapshot of the I/O counters accumulated since the last reset.
+    pub fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.pool.io_snapshot()
+    }
+
+    /// Resets the I/O counters (keeps the cache warm).
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_io_stats();
+    }
+
+    /// Clears the buffer pool cache *and* the counters — a fully cold start.
+    pub fn cold_start(&self) {
+        self.pool.clear_cache();
+        self.pool.reset_io_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_running_example() {
+        let dataset = Dataset::running_example();
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        assert_eq!(index.cardinality(), 4);
+        assert_eq!(index.dimensionality(), 2);
+        assert_eq!(index.list_len(DimId(0)), 4);
+        assert_eq!(index.list_len(DimId(1)), 4);
+
+        // L1 must be ordered d1, d2, d3, d4 (by decreasing first coordinate,
+        // ties by id) exactly as in Figure 1.
+        let mut cursor = index.list_cursor(DimId(0)).unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| cursor.next_entry().unwrap())
+            .map(|(id, _)| id.0)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+
+        // L2 must be ordered d3, d4, d2, d1.
+        let mut cursor = index.list_cursor(DimId(1)).unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| cursor.next_entry().unwrap())
+            .map(|(id, _)| id.0)
+            .collect();
+        assert_eq!(order, vec![2, 3, 1, 0]);
+
+        // Random access returns the full tuples.
+        for (id, tuple) in dataset.iter() {
+            assert_eq!(&index.fetch_tuple(id).unwrap(), tuple);
+        }
+    }
+
+    #[test]
+    fn unknown_dimension_is_rejected_but_empty_dimension_is_not() {
+        let dataset = Dataset::running_example();
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        assert!(index.list_cursor(DimId(5)).is_err());
+
+        // A dataset with an unpopulated dimension yields an empty cursor.
+        let mut builder = ir_types::DatasetBuilder::new(3);
+        builder.push_pairs([(0, 0.5)]).unwrap();
+        let ds = builder.build();
+        let idx = TopKIndex::build_in_memory(&ds).unwrap();
+        assert_eq!(idx.list_len(DimId(2)), 0);
+        let mut cursor = idx.list_cursor(DimId(2)).unwrap();
+        assert!(cursor.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn io_counters_start_clean_after_build() {
+        let dataset = Dataset::running_example();
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        assert_eq!(index.io_snapshot(), IoStatsSnapshot::default());
+        index.fetch_tuple(TupleId(0)).unwrap();
+        assert!(index.io_snapshot().logical_reads > 0);
+        index.cold_start();
+        assert_eq!(index.io_snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn disk_backend_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let dataset = Dataset::running_example();
+        let index = IndexBuilder::new()
+            .backend(StorageBackend::Disk(dir.path().to_path_buf()))
+            .pool_capacity(2)
+            .build(&dataset)
+            .unwrap();
+        for (id, tuple) in dataset.iter() {
+            assert_eq!(&index.fetch_tuple(id).unwrap(), tuple);
+        }
+        assert!(dir.path().join("index.pages").exists());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ir-storage
+//!
+//! Page-based storage substrate for the immutable-region stack.
+//!
+//! Section 3 of the paper states the physical design: *"we create an inverted
+//! list `L_j` for each dimension [...] sorted in decreasing `d_{αj}` order.
+//! The inverted lists and the external file of tuples are stored on disk."*
+//! Section 7 then reports I/O cost as a primary metric. This crate provides
+//! that substrate:
+//!
+//! * [`page`] / [`pagestore`] — fixed-size pages backed either by an
+//!   in-memory "disk" ([`MemPageStore`]) or by a real file
+//!   ([`FilePageStore`]),
+//! * [`buffer`] — an LRU buffer pool that every access goes through, with
+//!   logical/physical read accounting,
+//! * [`stats`] — I/O counters and a configurable latency model used by the
+//!   experiment harness to report I/O time,
+//! * [`inverted`] — the per-dimension inverted lists with resumable
+//!   sequential cursors (TA's *sorted access*),
+//! * [`tuplestore`] — the external tuple file with random access by tuple id
+//!   (TA's *random access*),
+//! * [`index`] — [`TopKIndex`], the façade that builds all of the above from
+//!   an in-memory [`ir_types::Dataset`] and is what the query algorithms
+//!   operate on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod index;
+pub mod inverted;
+pub mod page;
+pub mod pagestore;
+pub mod stats;
+pub mod tuplestore;
+
+pub use buffer::BufferPool;
+pub use index::{IndexBuilder, StorageBackend, TopKIndex};
+pub use inverted::{InvertedListCursor, ListDirectoryEntry};
+pub use page::{PageId, PAGE_SIZE};
+pub use pagestore::{FilePageStore, MemPageStore, PageStore};
+pub use stats::{IoConfig, IoStats, IoStatsSnapshot};
+pub use tuplestore::TupleDirectoryEntry;

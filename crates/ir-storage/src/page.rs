@@ -1,0 +1,117 @@
+//! Fixed-size pages and page identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of every page in bytes.
+///
+/// 4 KiB matches the disk/OS page granularity the paper's testbed would have
+/// used; inverted-list entries are 12 bytes so roughly 340 entries fit in a
+/// page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page inside a [`crate::pagestore::PageStore`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Page id as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The page that follows this one.
+    #[inline]
+    pub fn next(self) -> PageId {
+        PageId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageId({})", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An owned page buffer.
+pub type PageBuf = Box<[u8]>;
+
+/// Allocates a zeroed page buffer.
+pub fn zeroed_page() -> PageBuf {
+    vec![0u8; PAGE_SIZE].into_boxed_slice()
+}
+
+/// Little helpers to read/write fixed-width integers and floats at byte
+/// offsets inside a page. All encodings are little-endian.
+pub mod codec {
+    /// Writes a `u32` at `offset`.
+    #[inline]
+    pub fn put_u32(buf: &mut [u8], offset: usize, value: u32) {
+        buf[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a `u32` at `offset`.
+    #[inline]
+    pub fn get_u32(buf: &[u8], offset: usize) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&buf[offset..offset + 4]);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes an `f64` at `offset`.
+    #[inline]
+    pub fn put_f64(buf: &mut [u8], offset: usize, value: f64) {
+        buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an `f64` at `offset`.
+    #[inline]
+    pub fn get_f64(buf: &[u8], offset: usize) -> f64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[offset..offset + 8]);
+        f64::from_le_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_next_increments() {
+        assert_eq!(PageId(3).next(), PageId(4));
+        assert_eq!(PageId(0).index(), 0);
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn zeroed_page_has_page_size() {
+        let p = zeroed_page();
+        assert_eq!(p.len(), PAGE_SIZE);
+        assert!(p.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn codec_roundtrips_values() {
+        let mut buf = zeroed_page();
+        codec::put_u32(&mut buf, 10, 0xDEAD_BEEF);
+        codec::put_f64(&mut buf, 100, -0.125);
+        assert_eq!(codec::get_u32(&buf, 10), 0xDEAD_BEEF);
+        assert_eq!(codec::get_f64(&buf, 100), -0.125);
+    }
+
+    #[test]
+    fn codec_is_little_endian() {
+        let mut buf = vec![0u8; 8];
+        codec::put_u32(&mut buf, 0, 1);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[1], 0);
+    }
+}

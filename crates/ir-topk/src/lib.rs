@@ -1,0 +1,36 @@
+//! # ir-topk
+//!
+//! The Threshold Algorithm (TA) of Fagin et al., in its *random access*
+//! variant, running over the inverted-list storage of [`ir_storage`].
+//!
+//! TA probes the per-dimension inverted lists with sorted accesses; every
+//! newly encountered tuple is fetched in full with a random access and
+//! scored; processing stops once the k-th best score reaches the threshold
+//! `Σ_j q_j · t_j`, where `t_j` is the sorting key of the next unread entry
+//! of list `L_j` (Section 2 of the paper, traced on the running example in
+//! Figure 2).
+//!
+//! Two aspects go beyond the textbook algorithm because the immutable-region
+//! computation needs them:
+//!
+//! * every encountered non-result tuple is retained in a **candidate list**
+//!   `C(q)` in decreasing score order, together with its coordinates in the
+//!   query dimensions (captured while the full vector is in hand, at no
+//!   extra I/O) — see [`candidates`],
+//! * the TA state (cursor positions, seen set, thresholds) is kept alive in a
+//!   [`TaRun`] after termination, so Phase 3 of Scan/CPT can *resume* the
+//!   scan exactly where it stopped — see [`ta`].
+//!
+//! The probing order follows the enhancement used in the paper's
+//! experimental system model (Section 7.1): the next sorted access goes to
+//! the list with the largest `q_j · d_{αj}`, where `d_α` is the last tuple
+//! pulled from that list. Plain round-robin is also available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod ta;
+
+pub use candidates::{CandidateEntry, CandidateList};
+pub use ta::{ProbeStrategy, TaConfig, TaRun, TaStats};

@@ -1,0 +1,98 @@
+//! Property tests: TA (both probe strategies) must return exactly the
+//! brute-force top-k on arbitrary sparse datasets, and the resumable scan
+//! must eventually enumerate every tuple with positive query score.
+
+use ir_storage::TopKIndex;
+use ir_topk::{ProbeStrategy, TaConfig, TaRun};
+use ir_types::{score_cmp, Dataset, DatasetBuilder, QueryVector, RankedTuple, TupleId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    let dims = 6u32;
+    let tuple = proptest::collection::btree_map(0..dims, 0.01f64..1.0, 1..=dims as usize);
+    proptest::collection::vec(tuple, 3..60).prop_map(move |tuples| {
+        let mut builder = DatasetBuilder::new(dims);
+        for t in tuples {
+            builder.push_pairs(t.into_iter()).unwrap();
+        }
+        builder.build()
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = QueryVector> {
+    (
+        proptest::collection::btree_map(0u32..6, 0.1f64..=1.0, 1..=4),
+        1usize..8,
+    )
+        .prop_map(|(weights, k)| QueryVector::new(weights.into_iter(), k).unwrap())
+}
+
+fn brute_force(dataset: &Dataset, query: &QueryVector) -> Vec<TupleId> {
+    let mut ranked: Vec<RankedTuple> = dataset
+        .iter()
+        .map(|(id, t)| RankedTuple::new(id, query.score(t)))
+        .filter(|r| r.score > 0.0)
+        .collect();
+    ranked.sort_by(score_cmp);
+    ranked.into_iter().take(query.k()).map(|r| r.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ta_returns_the_exact_topk(dataset in dataset_strategy(), query in query_strategy()) {
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        let expected = brute_force(&dataset, &query);
+        for strategy in [ProbeStrategy::RoundRobin, ProbeStrategy::WeightedKey] {
+            let run = TaRun::execute(&index, &query, &TaConfig { probe_strategy: strategy }).unwrap();
+            prop_assert_eq!(run.result().ids(), expected.clone(), "strategy {:?}", strategy);
+            // Result and candidates are disjoint and every encountered tuple
+            // is unique.
+            let mut seen: BTreeMap<TupleId, u32> = BTreeMap::new();
+            for id in run.result().ids() {
+                *seen.entry(id).or_default() += 1;
+            }
+            for c in run.candidates().iter() {
+                *seen.entry(c.id).or_default() += 1;
+            }
+            prop_assert!(seen.values().all(|&count| count == 1));
+        }
+    }
+
+    #[test]
+    fn resumption_enumerates_every_positive_score_tuple(
+        dataset in dataset_strategy(),
+        query in query_strategy(),
+    ) {
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        let mut run = TaRun::execute_default(&index, &query).unwrap();
+        while run.resume_next_candidate(&index).unwrap().is_some() {}
+        prop_assert!(run.exhausted());
+        let enumerated = run.result().len() + run.candidates().len();
+        let positive = dataset
+            .iter()
+            .filter(|(_, t)| query.score(t) > 0.0)
+            .count();
+        prop_assert_eq!(enumerated, positive);
+        // After exhaustion the TA threshold is zero.
+        prop_assert!(run.threshold().abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_coords_match_the_stored_tuples(
+        dataset in dataset_strategy(),
+        query in query_strategy(),
+    ) {
+        let index = TopKIndex::build_in_memory(&dataset).unwrap();
+        let run = TaRun::execute_default(&index, &query).unwrap();
+        for entry in run.candidates().iter().chain(run.result_entries()) {
+            let tuple = dataset.tuple(entry.id).unwrap();
+            for (i, (dim, _)) in query.dims().enumerate() {
+                prop_assert!((entry.coord(i) - tuple.get(dim)).abs() < 1e-12);
+            }
+            prop_assert!((entry.score - query.score(tuple)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type shared across the workspace.
+//!
+//! The workspace avoids panicking on recoverable conditions (malformed
+//! queries, out-of-range values, storage failures) and instead threads a
+//! single [`IrError`] enum through the public APIs.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used throughout the workspace.
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Errors produced by the immutable-region stack.
+#[derive(Debug)]
+pub enum IrError {
+    /// A coordinate or weight was outside the `[0, 1]` domain required by the
+    /// paper's data model.
+    ValueOutOfRange {
+        /// Human readable description of the offending entity.
+        what: String,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// A query referenced a dimension that does not exist in the dataset.
+    UnknownDimension {
+        /// The offending dimension index.
+        dim: u32,
+        /// Number of dimensions in the dataset.
+        dimensionality: u32,
+    },
+    /// A tuple id was not present in the dataset / tuple store.
+    UnknownTuple {
+        /// The offending tuple index.
+        tuple: u32,
+    },
+    /// The query has no dimension with a strictly positive weight.
+    EmptyQuery,
+    /// `k` was zero or exceeded the dataset cardinality.
+    InvalidK {
+        /// Requested result size.
+        k: usize,
+        /// Dataset cardinality.
+        cardinality: usize,
+    },
+    /// A sparse vector listed the same dimension twice.
+    DuplicateDimension {
+        /// The duplicated dimension index.
+        dim: u32,
+    },
+    /// Underlying storage failure (page store, file I/O, serialization).
+    Storage(String),
+    /// Wrapper around `std::io::Error` raised by the disk-backed page store.
+    Io(io::Error),
+    /// Invalid configuration of an algorithm or generator.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ValueOutOfRange { what, value } => {
+                write!(f, "{what} has value {value} outside the [0, 1] domain")
+            }
+            IrError::UnknownDimension {
+                dim,
+                dimensionality,
+            } => write!(
+                f,
+                "dimension {dim} is out of range for a dataset with {dimensionality} dimensions"
+            ),
+            IrError::UnknownTuple { tuple } => write!(f, "tuple {tuple} does not exist"),
+            IrError::EmptyQuery => write!(f, "query has no positive weight"),
+            IrError::InvalidK { k, cardinality } => write!(
+                f,
+                "k = {k} is invalid for a dataset with {cardinality} tuples"
+            ),
+            IrError::DuplicateDimension { dim } => {
+                write!(f, "dimension {dim} appears more than once in a sparse vector")
+            }
+            IrError::Storage(msg) => write!(f, "storage error: {msg}"),
+            IrError::Io(err) => write!(f, "I/O error: {err}"),
+            IrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IrError {
+    fn from(err: io::Error) -> Self {
+        IrError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = IrError::UnknownDimension {
+            dim: 12,
+            dimensionality: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains_source() {
+        let err: IrError = io::Error::new(io::ErrorKind::NotFound, "missing page file").into();
+        assert!(err.to_string().contains("missing page file"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn value_out_of_range_mentions_value() {
+        let err = IrError::ValueOutOfRange {
+            what: "coordinate of d3 in dim2".to_string(),
+            value: 1.25,
+        };
+        assert!(err.to_string().contains("1.25"));
+    }
+}

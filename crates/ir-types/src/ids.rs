@@ -1,0 +1,132 @@
+//! Strongly typed identifiers for tuples and dimensions.
+//!
+//! Using newtypes (rather than bare `u32`s) prevents the classic
+//! index-confusion bugs: a dimension id can never be passed where a tuple id
+//! is expected, and vice versa. Both are `u32` internally because the paper's
+//! datasets have at most a few hundred thousand tuples and dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tuple (a row of the dataset).
+///
+/// Tuple ids are dense: a dataset with `n` tuples uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId(pub u32);
+
+/// Identifier of a dimension (an attribute / search term / feature).
+///
+/// Dimension ids are dense: a dataset over `m` dimensions uses ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DimId(pub u32);
+
+impl TupleId {
+    /// Returns the id as a `usize`, convenient for indexing vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DimId {
+    /// Returns the id as a `usize`, convenient for indexing vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TupleId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TupleId(v)
+    }
+}
+
+impl From<u32> for DimId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        DimId(v)
+    }
+}
+
+impl From<usize> for TupleId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        TupleId(u32::try_from(v).expect("tuple id exceeds u32::MAX"))
+    }
+}
+
+impl From<usize> for DimId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        DimId(u32::try_from(v).expect("dimension id exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TupleId({})", self.0)
+    }
+}
+
+impl fmt::Display for DimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dim{}", self.0)
+    }
+}
+
+impl fmt::Debug for DimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DimId({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tuple_id_roundtrip_via_usize() {
+        let id = TupleId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, TupleId(42));
+    }
+
+    #[test]
+    fn dim_id_roundtrip_via_u32() {
+        let id = DimId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, DimId(7));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(TupleId(1));
+        set.insert(TupleId(1));
+        set.insert(TupleId(2));
+        assert_eq!(set.len(), 2);
+        assert!(TupleId(1) < TupleId(2));
+        assert!(DimId(0) < DimId(1));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(TupleId(3).to_string(), "d3");
+        assert_eq!(DimId(3).to_string(), "dim3");
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple id exceeds u32::MAX")]
+    fn oversized_tuple_id_panics() {
+        let _ = TupleId::from(u32::MAX as usize + 1);
+    }
+}

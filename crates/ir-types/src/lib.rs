@@ -1,0 +1,37 @@
+//! # ir-types
+//!
+//! Core data model shared by every crate in the immutable-regions workspace.
+//!
+//! The model follows Section 3 of *Computing Immutable Regions for Subspace
+//! Top-k Queries* (Mouratidis & Pang, VLDB 2013):
+//!
+//! * a dataset `D` is a collection of tuples, each a vector in `[0, 1]^m`,
+//! * dimensionality `m` is high (tens or hundreds of thousands of
+//!   dimensions), so tuples are stored **sparsely** — only non-zero
+//!   coordinates are materialised,
+//! * a query is a vector of non-negative weights with `qlen << m` non-zero
+//!   entries (the *query dimensions*),
+//! * the score of a tuple is the dot product of tuple and query vectors, and
+//!   the top-k result is the list of the `k` highest-scoring tuples in
+//!   decreasing score order.
+//!
+//! The crate deliberately contains no algorithms — only the vocabulary types
+//! (`SparseVector`, `Dataset`, `QueryVector`, `RankedTuple`, `TopKResult`)
+//! plus deterministic ordering helpers used by every layer above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod ids;
+pub mod query;
+pub mod score;
+pub mod tuple;
+
+pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
+pub use error::{IrError, IrResult};
+pub use ids::{DimId, TupleId};
+pub use query::{QueryBuilder, QueryVector};
+pub use score::{score_cmp, total_cmp_desc, RankedTuple, TopKResult};
+pub use tuple::SparseVector;

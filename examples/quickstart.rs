@@ -1,0 +1,69 @@
+//! Quickstart: the paper's running example (Figure 1).
+//!
+//! Builds the four-tuple dataset, runs the top-2 query `q = <0.8, 0.5>`, and
+//! prints the immutable region of each query weight together with the result
+//! that takes over just past each boundary — the information a slide-bar
+//! interface for interactive weight tuning would display.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use immutable_regions::prelude::*;
+
+fn main() -> IrResult<()> {
+    // Dataset of Figure 1: d1..d4 in two dimensions (ids are zero-based).
+    let dataset = Dataset::running_example();
+    let index = TopKIndex::build_in_memory(&dataset)?;
+    let query = QueryVector::running_example(); // weights <0.8, 0.5>, k = 2
+
+    // CPT with φ = 1: besides the immutable region, also report the next
+    // region (and its result) on each side of every weight.
+    let config = RegionConfig::with_phi(Algorithm::Cpt, 1);
+    let mut computation = RegionComputation::new(&index, &query, config)?;
+    let report = computation.compute()?;
+
+    println!("top-{} result: {:?}", query.k(), computation.result().ids());
+    println!();
+
+    for dim in report.dims.iter() {
+        println!(
+            "weight q{} = {:.2}  ->  immutable region ({:+.4}, {:+.4})  i.e. q{} in [{:.4}, {:.4}]",
+            dim.dim.0 + 1,
+            dim.weight,
+            dim.immutable.lo,
+            dim.immutable.hi,
+            dim.dim.0 + 1,
+            dim.absolute_immutable().lo,
+            dim.absolute_immutable().hi,
+        );
+        for region in &dim.regions {
+            let marker = if region.contains(0.0) { "*" } else { " " };
+            println!(
+                "   {marker} delta in ({:+.4}, {:+.4})  result = {:?}",
+                region.delta_lo, region.delta_hi, region.result
+            );
+        }
+        if let Some(boundary) = &dim.upper_boundary {
+            println!(
+                "     raising q{} past {:+.4} causes {:?}",
+                dim.dim.0 + 1,
+                boundary.delta,
+                boundary.perturbation
+            );
+        }
+        if let Some(boundary) = &dim.lower_boundary {
+            println!(
+                "     lowering q{} past {:+.4} causes {:?}",
+                dim.dim.0 + 1,
+                boundary.delta,
+                boundary.perturbation
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "cost: {} candidates evaluated, {} logical page reads",
+        report.stats.evaluated_candidates, report.stats.io.logical_reads
+    );
+    Ok(())
+}
