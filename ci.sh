@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI entry point for the immutable-regions workspace.
+#
+# Stages:
+#   1. formatting        — cargo fmt --check
+#   2. lints             — cargo clippy, all targets, warnings are errors
+#   3. tier-1 verify     — cargo build --release && cargo test -q
+#   4. bench compilation — the criterion benches must at least build
+#   5. example smoke     — every example runs to completion
+#
+# Everything is offline: all dependencies are vendored path crates (see
+# vendor/README.md), so this script works without network access.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "1/5 cargo fmt --check"
+cargo fmt --all --check
+
+step "2/5 cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "3/5 tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+step "4/5 benches compile"
+cargo bench --no-run
+
+step "5/5 example + figure-runner smoke loop"
+for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
+    printf -- '--- example: %s\n' "$example"
+    cargo run --release -q -p immutable-regions --example "$example" >/dev/null
+done
+# Every figure/ablation runner must complete at smoke scale — compiling is
+# not enough, they have runtime config (workload eligibility) to exercise.
+for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
+    figure12_kb_qlen figure13_vary_k figure14_vary_phi \
+    figure15_oneoff_vs_iterative figure16_composition_only \
+    ablation_design_choices; do
+    printf -- '--- figure runner: %s\n' "$figure_bin"
+    IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" >/dev/null
+done
+
+printf '\nCI OK\n'

@@ -39,6 +39,7 @@ fn main() -> IrResult<()> {
         k: 10,
         num_queries: 1,
         min_postings: 50,
+        max_postings: usize::MAX,
         selection: DimSelection::PopularityBiased,
         equal_weights: false,
     };

@@ -24,10 +24,7 @@ fn random_dataset(rng: &mut ChaCha8Rng, n: usize, dims: u32) -> Dataset {
             while b == a {
                 b = rng.gen_range(0..dims);
             }
-            vec![
-                (a, rng.gen_range(0.05..1.0)),
-                (b, rng.gen_range(0.05..1.0)),
-            ]
+            vec![(a, rng.gen_range(0.05..1.0)), (b, rng.gen_range(0.05..1.0))]
         } else {
             // Dense tuple.
             (0..dims).map(|d| (d, rng.gen_range(0.01..1.0))).collect()
@@ -45,11 +42,7 @@ fn random_query(rng: &mut ChaCha8Rng, dims: u32, qlen: usize, k: usize) -> Query
             chosen.push(d);
         }
     }
-    QueryVector::new(
-        chosen.into_iter().map(|d| (d, rng.gen_range(0.2..=1.0))),
-        k,
-    )
-    .unwrap()
+    QueryVector::new(chosen.into_iter().map(|d| (d, rng.gen_range(0.2..=1.0))), k).unwrap()
 }
 
 #[test]

@@ -13,7 +13,7 @@ fn dataset_strategy(dims: u32, max_tuples: usize) -> impl Strategy<Value = Datas
     proptest::collection::vec(tuple, 5..max_tuples).prop_map(move |tuples| {
         let mut builder = DatasetBuilder::new(dims);
         for t in tuples {
-            builder.push_pairs(t.into_iter()).unwrap();
+            builder.push_pairs(t).unwrap();
         }
         builder.build()
     })
@@ -24,7 +24,7 @@ fn query_strategy(dims: u32) -> impl Strategy<Value = QueryVector> {
         proptest::collection::btree_map(0..dims, 0.2f64..=1.0, 2..=3),
         1usize..4,
     )
-        .prop_map(|(weights, k)| QueryVector::new(weights.into_iter(), k).unwrap())
+        .prop_map(|(weights, k)| QueryVector::new(weights, k).unwrap())
 }
 
 fn topk_by_scan(dataset: &Dataset, query: &QueryVector, dim: DimId, delta: f64) -> Vec<TupleId> {
@@ -38,7 +38,7 @@ fn topk_by_scan(dataset: &Dataset, query: &QueryVector, dim: DimId, delta: f64) 
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0xB00C_0002))]
 
     /// Inside the reported immutable region the ordered top-k never changes.
     #[test]

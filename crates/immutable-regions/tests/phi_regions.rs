@@ -42,11 +42,8 @@ fn phi_regions_match_the_oracle_for_every_algorithm() {
                 chosen.push(d);
             }
         }
-        let query = QueryVector::new(
-            chosen.iter().map(|&d| (d, rng.gen_range(0.3..=1.0))),
-            k,
-        )
-        .unwrap();
+        let query =
+            QueryVector::new(chosen.iter().map(|&d| (d, rng.gen_range(0.3..=1.0))), k).unwrap();
         let phi = rng.gen_range(1..4usize);
         let oracle = ExhaustiveOracle::new(&dataset, query.clone());
 

@@ -39,13 +39,21 @@ fn figure_1_immutable_regions_for_every_algorithm_and_mode() {
         let report = computation.compute().unwrap();
         // IR_1 = (q1 - 16/35, q1 + 0.1), IR_2 = (q2 - 1/18, q2 + 0.5).
         let d0 = report.for_dim(DimId(0)).unwrap();
-        assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9, "{}", algorithm.name());
+        assert!(
+            (d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9,
+            "{}",
+            algorithm.name()
+        );
         assert!((d0.immutable.hi - 0.1).abs() < 1e-9, "{}", algorithm.name());
         let abs = d0.absolute_immutable();
         assert!((abs.lo - (0.8 - 16.0 / 35.0)).abs() < 1e-9);
         assert!((abs.hi - 0.9).abs() < 1e-9);
         let d1 = report.for_dim(DimId(1)).unwrap();
-        assert!((d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9, "{}", algorithm.name());
+        assert!(
+            (d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9,
+            "{}",
+            algorithm.name()
+        );
         assert!((d1.immutable.hi - 0.5).abs() < 1e-9, "{}", algorithm.name());
     }
 }
@@ -131,7 +139,10 @@ fn weight_shifts_confirm_the_reported_regions() {
 
     let result_at = |delta: f64| {
         let shifted = query.with_weight_shift(DimId(0), delta).unwrap();
-        TaRun::execute_default(&index, &shifted).unwrap().result().ids()
+        TaRun::execute_default(&index, &shifted)
+            .unwrap()
+            .result()
+            .ids()
     };
     let inside_hi = d0.immutable.hi - 1e-6;
     let outside_hi = d0.immutable.hi + 1e-6;

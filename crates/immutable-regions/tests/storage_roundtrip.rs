@@ -28,9 +28,9 @@ fn medium_dataset() -> Dataset {
 #[test]
 fn disk_backed_index_produces_the_same_regions_as_memory() {
     let dataset = medium_dataset();
-    let dir = tempdir();
+    let dir = tempfile::tempdir().unwrap();
     let disk_index = IndexBuilder::new()
-        .backend(StorageBackend::Disk(dir.clone()))
+        .backend(StorageBackend::Disk(dir.path().to_path_buf()))
         .pool_capacity(64)
         .build(&dataset)
         .unwrap();
@@ -49,10 +49,9 @@ fn disk_backed_index_produces_the_same_regions_as_memory() {
         assert!(a.immutable.approx_eq(&b.immutable, 1e-12));
     }
     // The page file exists and holds at least the tuple region.
-    let page_file = dir.join("index.pages");
+    let page_file = dir.path().join("index.pages");
     let len = std::fs::metadata(&page_file).unwrap().len();
     assert!(len >= PAGE_SIZE as u64);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -60,7 +59,10 @@ fn small_buffer_pool_forces_physical_rereads() {
     let dataset = medium_dataset();
     let query = QueryVector::new([(0, 0.9), (5, 0.6)], 10).unwrap();
 
-    let tight = IndexBuilder::new().pool_capacity(2).build(&dataset).unwrap();
+    let tight = IndexBuilder::new()
+        .pool_capacity(2)
+        .build(&dataset)
+        .unwrap();
     let roomy = IndexBuilder::new()
         .pool_capacity(4096)
         .build(&dataset)
@@ -68,8 +70,8 @@ fn small_buffer_pool_forces_physical_rereads() {
 
     for index in [&tight, &roomy] {
         index.cold_start();
-        let mut rc = RegionComputation::new(index, &query, RegionConfig::flat(Algorithm::Scan))
-            .unwrap();
+        let mut rc =
+            RegionComputation::new(index, &query, RegionConfig::flat(Algorithm::Scan)).unwrap();
         rc.compute().unwrap();
     }
     let tight_phys = tight.io_snapshot().physical_reads;
@@ -96,29 +98,20 @@ fn io_latency_model_converts_physical_reads_to_time() {
         .unwrap();
     let query = QueryVector::new([(2, 0.8), (7, 0.5)], 5).unwrap();
     index.cold_start();
-    let mut rc = RegionComputation::new(&index, &query, RegionConfig::flat(Algorithm::Cpt)).unwrap();
+    let mut rc =
+        RegionComputation::new(&index, &query, RegionConfig::flat(Algorithm::Cpt)).unwrap();
     let report = rc.compute().unwrap();
     let io_time = index
         .io_config()
         .simulated_io_time(&report.stats.io.plus(&report.stats.topk_io));
-    assert!(io_time.as_micros() > 0, "physical reads must cost simulated time");
+    assert!(
+        io_time.as_micros() > 0,
+        "physical reads must cost simulated time"
+    );
     assert_eq!(
         IoConfig::memory_resident()
             .simulated_io_time(&report.stats.io)
             .as_nanos(),
         0
     );
-}
-
-fn tempdir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "ir-storage-roundtrip-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
 }

@@ -72,12 +72,9 @@ fn bench_figure13_vary_k(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(algorithm.name(), k), |b| {
                 b.iter(|| {
                     for query in workload.iter() {
-                        let mut rc = RegionComputation::new(
-                            &index,
-                            query,
-                            RegionConfig::flat(algorithm),
-                        )
-                        .unwrap();
+                        let mut rc =
+                            RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
+                                .unwrap();
                         std::hint::black_box(rc.compute().unwrap());
                     }
                 })

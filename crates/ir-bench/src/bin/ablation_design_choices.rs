@@ -42,7 +42,13 @@ fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
             let mut random = 0u64;
             let mut candidates = 0usize;
             for query in workload.iter() {
-                let run = TaRun::execute(&index, query, &TaConfig { probe_strategy: strategy })?;
+                let run = TaRun::execute(
+                    &index,
+                    query,
+                    &TaConfig {
+                        probe_strategy: strategy,
+                    },
+                )?;
                 sorted += run.stats().sorted_accesses;
                 random += run.stats().random_accesses;
                 candidates += run.candidates().len();
@@ -89,13 +95,8 @@ fn pool_size_ablation(scale: Scale) -> IrResult<()> {
                 physical += report.stats.io.physical_reads;
             }
             let n = workload.len() as f64;
-            let io_ms = index
-                .io_config()
-                .page_read_latency
-                .as_secs_f64()
-                * 1e3
-                * physical as f64
-                / n;
+            let io_ms =
+                index.io_config().page_read_latency.as_secs_f64() * 1e3 * physical as f64 / n;
             println!(
                 "{:<12} {:<8} {:>16.1} {:>16.1} {:>14.2}",
                 pool_pages,

@@ -24,6 +24,14 @@ fn main() -> IrResult<()> {
                 k: 10,
                 num_queries: 1,
                 min_postings: 30,
+                // Stopword cut (see `WorkloadConfig::max_postings`): only
+                // meaningful for the sparse WSJ-like corpus — every dimension
+                // of the dense St dataset has ~cardinality postings and would
+                // be cut.
+                max_postings: match dataset_kind {
+                    BenchDataset::Wsj => dataset.cardinality() / 10,
+                    _ => usize::MAX,
+                },
                 selection: dataset_kind.selection(),
                 equal_weights: true,
             },
@@ -32,7 +40,10 @@ fn main() -> IrResult<()> {
         let query = &workload.queries()[0];
         let computation = RegionComputation::new(&index, query, RegionConfig::default())?;
         let candidates = computation.ta().candidates().entries().to_vec();
-        println!("=== Figure 6 — {} (qlen=4, k=10, equal weights) ===", dataset_kind.name());
+        println!(
+            "=== Figure 6 — {} (qlen=4, k=10, equal weights) ===",
+            dataset_kind.name()
+        );
         println!(
             "result size {}  candidate list size {}",
             computation.result().len(),

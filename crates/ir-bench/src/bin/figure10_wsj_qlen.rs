@@ -11,10 +11,8 @@ use ir_types::IrResult;
 fn main() -> IrResult<()> {
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
-    let mut table = ExperimentTable::new(
-        "Figure 10 — WSJ-like corpus, k = 10, varying qlen",
-        "qlen",
-    );
+    let mut table =
+        ExperimentTable::new("Figure 10 — WSJ-like corpus, k = 10, varying qlen", "qlen");
     for qlen in [2usize, 4, 6, 8, 10] {
         let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
         for algorithm in Algorithm::ALL {

@@ -1,7 +1,9 @@
 //! Figure 15: one-off φ > 0 computation versus iterative re-evaluation of
 //! single-region requests, for Prune and CPT.
 
-use ir_bench::{measure_iterative, measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_iterative, measure_method, print_table, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
 
@@ -26,7 +28,9 @@ fn main() -> IrResult<()> {
                 RegionConfig::with_phi(algorithm, phi),
                 phi as f64,
             )?);
-            table.push(measure_iterative(&index, &workload, algorithm, phi, phi as f64)?);
+            table.push(measure_iterative(
+                &index, &workload, algorithm, phi, phi as f64,
+            )?);
         }
     }
     print_table(&table);

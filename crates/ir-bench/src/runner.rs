@@ -24,11 +24,7 @@ pub fn measure_method(
         let stats = &report.stats;
         total.evaluated_per_dim += stats.evaluated_per_dim_avg();
         total.cpu_time_ms += stats.cpu_time.as_secs_f64() * 1e3;
-        total.io_time_ms += index
-            .io_config()
-            .simulated_io_time(&stats.io)
-            .as_secs_f64()
-            * 1e3;
+        total.io_time_ms += index.io_config().simulated_io_time(&stats.io).as_secs_f64() * 1e3;
         total.memory_kbytes += stats.memory_footprint_bytes as f64 / 1024.0;
         total.logical_reads += stats.io.logical_reads as f64;
         total.physical_reads += stats.io.physical_reads as f64;
@@ -53,11 +49,7 @@ pub fn measure_iterative(
         let dims = stats.evaluated_per_dim.len().max(1) as f64;
         total.evaluated_per_dim += stats.evaluated_candidates as f64 / dims;
         total.cpu_time_ms += stats.cpu_time.as_secs_f64() * 1e3;
-        total.io_time_ms += index
-            .io_config()
-            .simulated_io_time(&stats.io)
-            .as_secs_f64()
-            * 1e3;
+        total.io_time_ms += index.io_config().simulated_io_time(&stats.io).as_secs_f64() * 1e3;
         total.memory_kbytes += stats.memory_footprint_bytes as f64 / 1024.0;
         total.logical_reads += stats.io.logical_reads as f64;
         total.physical_reads += stats.io.physical_reads as f64;
@@ -97,7 +89,13 @@ impl ExperimentTable {
         out.push_str(&format!("### {}\n", self.title));
         out.push_str(&format!(
             "{:<12} {:>6} {:>16} {:>12} {:>12} {:>12} {:>14}\n",
-            "method", self.x_label, "eval-cands/dim", "io-time-ms", "cpu-ms", "mem-KiB", "logical-reads"
+            "method",
+            self.x_label,
+            "eval-cands/dim",
+            "io-time-ms",
+            "cpu-ms",
+            "mem-KiB",
+            "logical-reads"
         ));
         for row in &self.rows {
             out.push_str(&format!(

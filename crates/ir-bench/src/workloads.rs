@@ -121,6 +121,7 @@ impl BenchDataset {
                 k,
                 num_queries,
                 min_postings: (2 * k).max(20),
+                max_postings: usize::MAX,
                 selection: self.selection(),
                 equal_weights: false,
             },

@@ -3,7 +3,7 @@
 use crate::config::{PerturbationMode, RegionConfig};
 use crate::evaluator::CandidateEvaluator;
 use crate::metrics::ComputationStats;
-use crate::region::{RegionReport, DimRegions};
+use crate::region::{DimRegions, RegionReport};
 use crate::solver_flat::solve_dim_flat;
 use crate::solver_phi::solve_dim_phi;
 use ir_storage::{IoStatsSnapshot, TopKIndex};
@@ -38,11 +38,7 @@ pub struct RegionComputation<'a> {
 
 impl<'a> RegionComputation<'a> {
     /// Runs TA for the query and prepares the region computation.
-    pub fn new(
-        index: &'a TopKIndex,
-        query: &QueryVector,
-        config: RegionConfig,
-    ) -> IrResult<Self> {
+    pub fn new(index: &'a TopKIndex, query: &QueryVector, config: RegionConfig) -> IrResult<Self> {
         Self::with_ta_config(index, query, config, &TaConfig::default())
     }
 
@@ -107,8 +103,8 @@ impl<'a> RegionComputation<'a> {
             // reorderings count as perturbations. In composition-only mode
             // the lowest-ranked result member can change identity inside the
             // region, so the envelope-based solver is used even for φ = 0.
-            let use_flat = self.config.phi == 0
-                && self.config.mode == PerturbationMode::WithReorderings;
+            let use_flat =
+                self.config.phi == 0 && self.config.mode == PerturbationMode::WithReorderings;
             let (regions, info) = if use_flat {
                 solve_dim_flat(
                     self.index,
@@ -191,7 +187,11 @@ mod tests {
                 d0.immutable.hi
             );
             let d1 = report.for_dim(DimId(1)).unwrap();
-            assert!((d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9, "{}", algorithm.name());
+            assert!(
+                (d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9,
+                "{}",
+                algorithm.name()
+            );
             assert!((d1.immutable.hi - 0.5).abs() < 1e-9, "{}", algorithm.name());
         }
     }
@@ -236,18 +236,42 @@ mod tests {
                     .unwrap();
             let report = computation.compute().unwrap();
             let d0 = report.for_dim(DimId(0)).unwrap();
-            assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9, "{}", algorithm.name());
+            assert!(
+                (d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9,
+                "{}",
+                algorithm.name()
+            );
             assert!((d0.immutable.hi - 0.1).abs() < 1e-9, "{}", algorithm.name());
 
             let right = d0.region_at(0.15).expect("region to the right");
-            assert_eq!(right.result, vec![TupleId(0), TupleId(1)], "{}", algorithm.name());
+            assert_eq!(
+                right.result,
+                vec![TupleId(0), TupleId(1)],
+                "{}",
+                algorithm.name()
+            );
             assert!((right.delta_lo - 0.1).abs() < 1e-9);
-            assert!((right.delta_hi - 0.2).abs() < 1e-9, "{}: {}", algorithm.name(), right.delta_hi);
+            assert!(
+                (right.delta_hi - 0.2).abs() < 1e-9,
+                "{}: {}",
+                algorithm.name(),
+                right.delta_hi
+            );
 
             let left = d0.region_at(-0.5).expect("region to the left");
-            assert_eq!(left.result, vec![TupleId(1), TupleId(2)], "{}", algorithm.name());
+            assert_eq!(
+                left.result,
+                vec![TupleId(1), TupleId(2)],
+                "{}",
+                algorithm.name()
+            );
             assert!((left.delta_hi + 16.0 / 35.0).abs() < 1e-9);
-            assert!((left.delta_lo + 0.55).abs() < 1e-9, "{}: {}", algorithm.name(), left.delta_lo);
+            assert!(
+                (left.delta_lo + 0.55).abs() < 1e-9,
+                "{}: {}",
+                algorithm.name(),
+                left.delta_lo
+            );
         }
     }
 
@@ -312,13 +336,25 @@ mod tests {
             for dim in [DimId(0), DimId(1)] {
                 let s = strict_report.for_dim(dim).unwrap();
                 let l = loose_report.for_dim(dim).unwrap();
-                assert!(l.immutable.lo <= s.immutable.lo + 1e-12, "{}", algorithm.name());
-                assert!(l.immutable.hi >= s.immutable.hi - 1e-12, "{}", algorithm.name());
+                assert!(
+                    l.immutable.lo <= s.immutable.lo + 1e-12,
+                    "{}",
+                    algorithm.name()
+                );
+                assert!(
+                    l.immutable.hi >= s.immutable.hi - 1e-12,
+                    "{}",
+                    algorithm.name()
+                );
             }
             // In strict mode, IR_2's lower bound is the d1/d2 reordering at
             // -1/18 (Figure 5, Phase 1).
             let d1 = strict_report.for_dim(DimId(1)).unwrap();
-            assert!((d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9, "{}", algorithm.name());
+            assert!(
+                (d1.immutable.lo + 1.0 / 18.0).abs() < 1e-9,
+                "{}",
+                algorithm.name()
+            );
             assert_eq!(
                 d1.lower_boundary.unwrap().perturbation,
                 Perturbation::Reorder {

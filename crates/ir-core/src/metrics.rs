@@ -65,7 +65,9 @@ impl ComputationStats {
         self.io = self.io.plus(&other.io);
         self.topk_io = self.topk_io.plus(&other.topk_io);
         self.cpu_time += other.cpu_time;
-        self.memory_footprint_bytes = self.memory_footprint_bytes.max(other.memory_footprint_bytes);
+        self.memory_footprint_bytes = self
+            .memory_footprint_bytes
+            .max(other.memory_footprint_bytes);
     }
 }
 

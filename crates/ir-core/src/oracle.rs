@@ -189,15 +189,9 @@ mod tests {
         let dataset = Dataset::running_example();
         let query = QueryVector::running_example();
         let oracle = ExhaustiveOracle::new(&dataset, query);
-        assert_eq!(
-            oracle.topk_at(DimId(0), 0.0),
-            vec![TupleId(1), TupleId(0)]
-        );
+        assert_eq!(oracle.topk_at(DimId(0), 0.0), vec![TupleId(1), TupleId(0)]);
         // Past the upper bound of IR_1 the order flips.
-        assert_eq!(
-            oracle.topk_at(DimId(0), 0.15),
-            vec![TupleId(0), TupleId(1)]
-        );
+        assert_eq!(oracle.topk_at(DimId(0), 0.15), vec![TupleId(0), TupleId(1)]);
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl Partition {
     /// (the only `C^H_j` tuple that can affect the upper bound when `φ = 0`,
     /// per Lemma 3).
     pub fn best_high(&self, candidates: &[CandidateEntry], dim_index: usize) -> Option<usize> {
-        self.top_high_by_coord(candidates, dim_index, 1).first().copied()
+        self.top_high_by_coord(candidates, dim_index, 1)
+            .first()
+            .copied()
     }
 
     /// The `count` members of `C^H_j` with the largest coordinates in `j`

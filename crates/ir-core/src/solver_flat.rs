@@ -197,7 +197,8 @@ pub fn solve_dim_flat(
             let s_low = dk_score + bounds.lower * dk_coord;
             let s_high = dk_score + bounds.upper * dk_coord;
             let lower_active = sum_other + (weight + bounds.lower) * tj > s_low;
-            let upper_active = upper_needs_scan && sum_other + (weight + bounds.upper) * tj > s_high;
+            let upper_active =
+                upper_needs_scan && sum_other + (weight + bounds.upper) * tj > s_high;
             if !lower_active && !upper_active {
                 break;
             }

@@ -14,7 +14,9 @@ use crate::evaluator::CandidateEvaluator;
 use crate::partition::Partition;
 use crate::region::{DimRegions, Perturbation, RegionBoundary, WeightRegion};
 use crate::solver_flat::{phase2_footprint, DimSolveInfo};
-use ir_geometry::{sweep_topk, Interval, Line, LowerEnvelope, SweepEvent, SweepEventKind, SweepOutcome};
+use ir_geometry::{
+    sweep_topk, Interval, Line, LowerEnvelope, SweepEvent, SweepEventKind, SweepOutcome,
+};
 use ir_storage::TopKIndex;
 use ir_topk::{CandidateEntry, TaRun};
 use ir_types::{IrResult, TupleId};
@@ -134,7 +136,7 @@ fn filter_events(events: &[SweepEvent], mode: PerturbationMode, phi: usize) -> V
         };
         if counts {
             kept.push(ev.clone());
-            if kept.len() >= phi + 1 {
+            if kept.len() > phi {
                 break;
             }
         }
@@ -230,35 +232,33 @@ pub fn solve_dim_phi(
     };
     let pool_union: HashSet<usize> = right_pool.iter().chain(left_pool.iter()).copied().collect();
     info.phase2_pool = pool_union.len();
-    info.footprint_bytes = phase2_footprint(
-        config,
-        all_entries.len(),
-        pool_union.len(),
-        ta.dims().len(),
-    );
+    info.footprint_bytes =
+        phase2_footprint(config, all_entries.len(), pool_union.len(), ta.dims().len());
 
     let mut evaluated_ids: HashSet<TupleId> = HashSet::new();
-    let feed =
-        |idx: usize,
-         sweep: &mut DirectionalSweep,
-         evaluator: &mut CandidateEvaluator<'_>,
-         evaluated_ids: &mut HashSet<TupleId>,
-         info: &mut DimSolveInfo|
-         -> IrResult<()> {
-            let cand = views[idx];
-            if evaluated_ids.insert(cand.id) {
-                let before = evaluator.evaluated();
-                evaluator.evaluate(cand.id, dim)?;
-                info.evaluated += evaluator.evaluated() - before;
-            }
-            sweep.add_candidate(cand);
-            Ok(())
-        };
+    let feed = |idx: usize,
+                sweep: &mut DirectionalSweep,
+                evaluator: &mut CandidateEvaluator<'_>,
+                evaluated_ids: &mut HashSet<TupleId>,
+                info: &mut DimSolveInfo|
+     -> IrResult<()> {
+        let cand = views[idx];
+        if evaluated_ids.insert(cand.id) {
+            let before = evaluator.evaluated();
+            evaluator.evaluate(cand.id, dim)?;
+            info.evaluated += evaluator.evaluated() - before;
+        }
+        sweep.add_candidate(cand);
+        Ok(())
+    };
 
     if config.algorithm.thresholds() {
         // Thresholded processing per direction: pull candidates by potential,
         // stopping as soon as the threshold line cannot reach the envelope.
-        for (pool, direction) in [(&right_pool, Direction::Right), (&left_pool, Direction::Left)] {
+        for (pool, direction) in [
+            (&right_pool, Direction::Right),
+            (&left_pool, Direction::Left),
+        ] {
             let sweep = match direction {
                 Direction::Right => &mut right,
                 Direction::Left => &mut left,
@@ -395,25 +395,26 @@ pub fn solve_dim_phi(
     let right_events = filter_events(&right_outcome.events, config.mode, phi);
     let left_events = filter_events(&left_outcome.events, config.mode, phi);
 
-    let build_side = |events: &[SweepEvent], x_max: f64, direction: Direction| -> Vec<WeightRegion> {
-        // Region r (1-based) lies between event r and event r+1 (or x_max).
-        let mut regions = Vec::new();
-        for r in 0..events.len().min(phi) {
-            let lo_x = events[r].x;
-            let hi_x = events.get(r + 1).map(|e| e.x).unwrap_or(x_max);
-            let ids = order_to_ids(&events[r].order_after);
-            let (delta_lo, delta_hi) = match direction {
-                Direction::Right => (lo_x, hi_x),
-                Direction::Left => (-hi_x, -lo_x),
-            };
-            regions.push(WeightRegion {
-                delta_lo,
-                delta_hi,
-                result: ids,
-            });
-        }
-        regions
-    };
+    let build_side =
+        |events: &[SweepEvent], x_max: f64, direction: Direction| -> Vec<WeightRegion> {
+            // Region r (1-based) lies between event r and event r+1 (or x_max).
+            let mut regions = Vec::new();
+            for r in 0..events.len().min(phi) {
+                let lo_x = events[r].x;
+                let hi_x = events.get(r + 1).map(|e| e.x).unwrap_or(x_max);
+                let ids = order_to_ids(&events[r].order_after);
+                let (delta_lo, delta_hi) = match direction {
+                    Direction::Right => (lo_x, hi_x),
+                    Direction::Left => (-hi_x, -lo_x),
+                };
+                regions.push(WeightRegion {
+                    delta_lo,
+                    delta_hi,
+                    result: ids,
+                });
+            }
+            regions
+        };
 
     let center_hi = right_events.first().map(|e| e.x).unwrap_or(right.x_max);
     let center_lo = -left_events.first().map(|e| e.x).unwrap_or(left.x_max);

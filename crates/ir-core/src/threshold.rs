@@ -134,8 +134,8 @@ pub fn threshold_phase2(
     let mut search_upper = true;
 
     let check = |idx: usize,
-                     bounds: &mut BoundState,
-                     evaluate: &mut dyn FnMut(TupleId) -> IrResult<f64>|
+                 bounds: &mut BoundState,
+                 evaluate: &mut dyn FnMut(TupleId) -> IrResult<f64>|
      -> IrResult<()> {
         let cand = cands[idx];
         let coord = evaluate(cand.id)?;
@@ -149,9 +149,7 @@ pub fn threshold_phase2(
         if let Some(idx) = pull_next(&sls, &mut pos_s, &processed) {
             processed.insert(idx);
             let coord = cands[idx].coord;
-            if coord < dk.coord && search_lower {
-                check(idx, bounds, &mut evaluate)?;
-            } else if coord > dk.coord && search_upper {
+            if (coord < dk.coord && search_lower) || (coord > dk.coord && search_upper) {
                 check(idx, bounds, &mut evaluate)?;
             }
         }
@@ -257,7 +255,10 @@ mod tests {
             exhaustive.upper,
             thresholded.upper
         );
-        assert!(count_th <= count_ex, "thresholding evaluated more ({count_th} > {count_ex})");
+        assert!(
+            count_th <= count_ex,
+            "thresholding evaluated more ({count_th} > {count_ex})"
+        );
     }
 
     #[test]
@@ -300,7 +301,9 @@ mod tests {
         // Deterministic pseudo-random stream (no external RNG needed here).
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..25 {

@@ -17,7 +17,7 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     proptest::collection::vec(tuple, 8..50).prop_map(move |tuples| {
         let mut builder = DatasetBuilder::new(dims);
         for t in tuples {
-            builder.push_pairs(t.into_iter()).unwrap();
+            builder.push_pairs(t).unwrap();
         }
         builder.build()
     })
@@ -29,9 +29,7 @@ fn query_strategy() -> impl Strategy<Value = QueryVector> {
         2usize..5,
         0usize..3,
     )
-        .prop_map(|(weights, k, phi)| {
-            (QueryVector::new(weights.into_iter(), k).unwrap(), phi)
-        })
+        .prop_map(|(weights, k, phi)| (QueryVector::new(weights, k).unwrap(), phi))
         .prop_map(|(q, _)| q)
 }
 

@@ -35,6 +35,12 @@ pub struct WorkloadConfig {
     pub num_queries: usize,
     /// Minimum number of postings a dimension needs to be eligible.
     pub min_postings: usize,
+    /// Maximum number of postings a dimension may have and stay eligible —
+    /// a stopword cut. The paper draws query terms uniformly from a huge
+    /// vocabulary, where stopword-like terms are vanishingly unlikely; at
+    /// smoke scale they must be excluded explicitly or they dominate every
+    /// co-occurrence statistic. `usize::MAX` disables the cut.
+    pub max_postings: usize,
     /// How dimensions are selected.
     pub selection: DimSelection,
     /// If true all weights are equal (the paper's Figure 6 study); otherwise
@@ -49,6 +55,7 @@ impl Default for WorkloadConfig {
             k: 10,
             num_queries: 100,
             min_postings: 32,
+            max_postings: usize::MAX,
             selection: DimSelection::Uniform,
             equal_weights: false,
         }
@@ -65,6 +72,12 @@ impl WorkloadConfig {
     /// Builder-style setter for `k`.
     pub fn with_k(mut self, k: usize) -> Self {
         self.k = k;
+        self
+    }
+
+    /// Builder-style setter for `max_postings` (the stopword cut).
+    pub fn with_max_postings(mut self, max_postings: usize) -> Self {
+        self.max_postings = max_postings;
         self
     }
 
@@ -101,14 +114,20 @@ impl QueryWorkload {
         }
         let mut eligible: Vec<(u32, usize)> = df
             .into_iter()
-            .filter(|(_, count)| *count >= config.min_postings)
+            .filter(|(_, count)| *count >= config.min_postings && *count <= config.max_postings)
             .collect();
         eligible.sort_unstable();
         if eligible.len() < config.qlen {
+            let stopword_cut = if config.max_postings == usize::MAX {
+                String::new()
+            } else {
+                format!(" and at most {} (stopword cut)", config.max_postings)
+            };
             return Err(ir_types::IrError::InvalidConfig(format!(
-                "only {} dimensions have at least {} postings, need {}",
+                "only {} dimensions have at least {} postings{}, need {}",
                 eligible.len(),
                 config.min_postings,
+                stopword_cut,
                 config.qlen
             )));
         }
@@ -212,6 +231,7 @@ mod tests {
             k: 5,
             num_queries: 20,
             min_postings: 5,
+            max_postings: usize::MAX,
             selection: DimSelection::Uniform,
             equal_weights: false,
         };
@@ -235,6 +255,7 @@ mod tests {
             .with_k(3);
         let config = WorkloadConfig {
             min_postings: 5,
+            max_postings: usize::MAX,
             ..config
         };
         let a = QueryWorkload::generate(&dataset, &config, 9).unwrap();
@@ -252,18 +273,14 @@ mod tests {
             k: 3,
             num_queries: 50,
             min_postings: 3,
+            max_postings: usize::MAX,
             selection: DimSelection::PopularityBiased,
             equal_weights: true,
         };
         let workload = QueryWorkload::generate(&dataset, &config, 4).unwrap();
         // Average document frequency of selected terms must exceed that of
         // the eligible pool (popular terms are picked more often).
-        let df = |d: DimId| {
-            dataset
-                .iter()
-                .filter(|(_, t)| t.get(d) > 0.0)
-                .count() as f64
-        };
+        let df = |d: DimId| dataset.iter().filter(|(_, t)| t.get(d) > 0.0).count() as f64;
         let eligible = eligible_dims(&dataset, 3);
         let pool_avg: f64 = eligible.iter().map(|&d| df(d)).sum::<f64>() / eligible.len() as f64;
         let mut picked_avg = 0.0;
@@ -289,6 +306,7 @@ mod tests {
             k: 3,
             num_queries: 1,
             min_postings: 100_000,
+            max_postings: usize::MAX,
             selection: DimSelection::Uniform,
             equal_weights: false,
         };
@@ -303,6 +321,7 @@ mod tests {
             k: 3,
             num_queries: 3,
             min_postings: 5,
+            max_postings: usize::MAX,
             selection: DimSelection::Uniform,
             equal_weights: true,
         };

@@ -96,8 +96,8 @@ impl TextCorpusGenerator {
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let zipf = ZipfSampler::new(cfg.vocabulary as usize, cfg.zipf_exponent);
-        let length_dist = LogNormal::new(cfg.mean_distinct_terms.ln(), 0.6)
-            .expect("valid log-normal parameters");
+        let length_dist =
+            LogNormal::new(cfg.mean_distinct_terms.ln(), 0.6).expect("valid log-normal parameters");
 
         // First pass: raw term frequencies per document + document frequency
         // per term.

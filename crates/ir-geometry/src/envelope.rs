@@ -200,7 +200,12 @@ mod tests {
 
     #[test]
     fn envelope_is_pointwise_minimum() {
-        let lines = vec![l(0, 0.9, 0.1), l(1, 0.5, 0.6), l(2, 0.2, 1.2), l(3, 0.8, 0.0)];
+        let lines = vec![
+            l(0, 0.9, 0.1),
+            l(1, 0.5, 0.6),
+            l(2, 0.2, 1.2),
+            l(3, 0.8, 0.0),
+        ];
         let env = LowerEnvelope::build(&lines, 0.0, 2.0);
         for i in 0..=40 {
             let x = i as f64 * 0.05;

@@ -23,10 +23,7 @@ impl Interval {
             lo <= hi + 1e-12,
             "interval bounds out of order: [{lo}, {hi}]"
         );
-        Interval {
-            lo: lo.min(hi),
-            hi,
-        }
+        Interval { lo: lo.min(hi), hi }
     }
 
     /// The interval `[lo, hi]` clamped so that `lo <= hi` (used when two

@@ -272,13 +272,7 @@ mod tests {
     fn reorder_event_matches_running_example() {
         // Top-2 of the running example on dimension 1: d2 (0.81, slope 0.7)
         // then d1 (0.80, slope 0.8). They swap at δ = 0.1.
-        let outcome = sweep_topk(
-            vec![l(2, 0.81, 0.7), l(1, 0.80, 0.8)],
-            vec![],
-            0.0,
-            0.2,
-            10,
-        );
+        let outcome = sweep_topk(vec![l(2, 0.81, 0.7), l(1, 0.80, 0.8)], vec![], 0.0, 0.2, 10);
         assert_eq!(outcome.events.len(), 1);
         let ev = &outcome.events[0];
         assert!((ev.x - 0.1).abs() < 1e-12);

@@ -138,11 +138,7 @@ impl BufferPool {
     }
 
     fn evict_lru(inner: &mut PoolInner) {
-        if let Some((&victim, _)) = inner
-            .frames
-            .iter()
-            .min_by_key(|(_, frame)| frame.last_used)
-        {
+        if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, frame)| frame.last_used) {
             inner.frames.remove(&victim);
         }
     }

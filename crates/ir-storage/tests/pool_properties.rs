@@ -3,7 +3,7 @@
 //! and safe to share across threads, and the index layout must round-trip
 //! arbitrary datasets.
 
-use ir_storage::{BufferPool, IndexBuilder, MemPageStore, PageId, TopKIndex, PAGE_SIZE};
+use ir_storage::{BufferPool, IndexBuilder, MemPageStore, PageId, PageStore, TopKIndex, PAGE_SIZE};
 use ir_types::{Dataset, DatasetBuilder, DimId, TupleId};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -14,14 +14,14 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     proptest::collection::vec(tuple, 1..80).prop_map(move |tuples| {
         let mut builder = DatasetBuilder::new(dims);
         for t in tuples {
-            builder.push_pairs(t.into_iter()).unwrap();
+            builder.push_pairs(t).unwrap();
         }
         builder.build()
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(32).with_seed(0xB00C_0001))]
 
     /// Every tuple and every inverted list survives the round trip through
     /// the paged layout, regardless of the buffer-pool capacity.

@@ -136,11 +136,7 @@ impl TaRun {
         let tuple = index.fetch_tuple(id)?;
         self.stats.random_accesses += 1;
         let coords: Vec<f64> = self.dims.iter().map(|&d| tuple.get(d)).collect();
-        let score: f64 = coords
-            .iter()
-            .zip(&self.weights)
-            .map(|(c, w)| c * w)
-            .sum();
+        let score: f64 = coords.iter().zip(&self.weights).map(|(c, w)| c * w).sum();
         let entry = CandidateEntry { id, score, coords };
         self.place(entry.clone());
         Ok(Some(entry))
@@ -179,13 +175,11 @@ impl TaRun {
                 let n = self.cursors.len();
                 (0..n).map(|o| (self.rr_next + o) % n).find(live)
             }
-            ProbeStrategy::WeightedKey => (0..self.cursors.len())
-                .filter(live)
-                .max_by(|&a, &b| {
-                    let ka = self.weights[a] * self.last_pulled[a];
-                    let kb = self.weights[b] * self.last_pulled[b];
-                    ka.total_cmp(&kb).then_with(|| b.cmp(&a))
-                }),
+            ProbeStrategy::WeightedKey => (0..self.cursors.len()).filter(live).max_by(|&a, &b| {
+                let ka = self.weights[a] * self.last_pulled[a];
+                let kb = self.weights[b] * self.last_pulled[b];
+                ka.total_cmp(&kb).then_with(|| b.cmp(&a))
+            }),
         }
     }
 
@@ -429,7 +423,7 @@ mod tests {
         let run = TaRun::execute_default(&index, &query).unwrap();
         assert_eq!(run.result().ids(), vec![TupleId(1)]);
         // The other encountered tuples are candidates.
-        assert!(run.candidates().len() >= 1);
+        assert!(!run.candidates().is_empty());
         for c in run.candidates().iter() {
             assert_ne!(c.id, TupleId(1));
         }

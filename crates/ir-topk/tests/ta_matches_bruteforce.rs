@@ -14,7 +14,7 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     proptest::collection::vec(tuple, 3..60).prop_map(move |tuples| {
         let mut builder = DatasetBuilder::new(dims);
         for t in tuples {
-            builder.push_pairs(t.into_iter()).unwrap();
+            builder.push_pairs(t).unwrap();
         }
         builder.build()
     })
@@ -25,7 +25,7 @@ fn query_strategy() -> impl Strategy<Value = QueryVector> {
         proptest::collection::btree_map(0u32..6, 0.1f64..=1.0, 1..=4),
         1usize..8,
     )
-        .prop_map(|(weights, k)| QueryVector::new(weights.into_iter(), k).unwrap())
+        .prop_map(|(weights, k)| QueryVector::new(weights, k).unwrap())
 }
 
 fn brute_force(dataset: &Dataset, query: &QueryVector) -> Vec<TupleId> {

@@ -75,7 +75,10 @@ impl fmt::Display for IrError {
                 "k = {k} is invalid for a dataset with {cardinality} tuples"
             ),
             IrError::DuplicateDimension { dim } => {
-                write!(f, "dimension {dim} appears more than once in a sparse vector")
+                write!(
+                    f,
+                    "dimension {dim} appears more than once in a sparse vector"
+                )
             }
             IrError::Storage(msg) => write!(f, "storage error: {msg}"),
             IrError::Io(err) => write!(f, "I/O error: {err}"),

@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn total_cmp_desc_handles_nan_last() {
-        let mut v = vec![0.3, f64::NAN, 0.9];
+        let mut v = [0.3, f64::NAN, 0.9];
         v.sort_by(|a, b| total_cmp_desc(*a, *b));
         assert_eq!(v[0], 0.9);
         assert_eq!(v[1], 0.3);

@@ -67,12 +67,7 @@ impl SparseVector {
     /// Builds a sparse vector from a dense slice; index `i` becomes
     /// dimension `i`.
     pub fn from_dense(values: &[f64]) -> IrResult<Self> {
-        Self::from_pairs(
-            values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (i as u32, v)),
-        )
+        Self::from_pairs(values.iter().enumerate().map(|(i, &v)| (i as u32, v)))
     }
 
     /// Returns the value of the given dimension (zero if not stored).
@@ -142,27 +137,19 @@ impl SparseVector {
 
     /// The L2 norm.
     pub fn l2_norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, v)| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
     }
 
     /// Returns a copy with every value divided by `max`, clamping to 1.0 for
     /// rounding safety. Used by generators to normalise raw weights (e.g.
     /// TF-IDF) into the `[0, 1]` domain.
     pub fn normalized_by(&self, max: f64) -> IrResult<Self> {
-        if !(max > 0.0) {
+        if max.is_nan() || max <= 0.0 {
             return Err(IrError::InvalidConfig(format!(
                 "normalisation constant must be positive, got {max}"
             )));
         }
-        SparseVector::from_pairs(
-            self.entries
-                .iter()
-                .map(|(d, v)| (d.0, (v / max).min(1.0))),
-        )
+        SparseVector::from_pairs(self.entries.iter().map(|(d, v)| (d.0, (v / max).min(1.0))))
     }
 
     /// Estimated in-memory footprint of the vector in bytes (entries only).

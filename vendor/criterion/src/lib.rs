@@ -1,0 +1,203 @@
+//! Vendored, dependency-free subset of `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`) with a simple wall-clock timer: each
+//! benchmark is warmed up once, then timed over enough iterations to fill a
+//! short measurement window, and the mean time per iteration is printed.
+//! There is no statistical analysis, HTML report, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, rendered as
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing loop.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement window
+    /// is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call outside the measurement.
+        black_box(routine());
+        let window_start = Instant::now();
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+            if window_start.elapsed() >= self.measurement_window {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver. Collects and prints per-benchmark timings.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+fn run_bench(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    window: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.0),
+        None => id.0.clone(),
+    };
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iterations: 0,
+        measurement_window: window,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iterations > 0 {
+        bencher.total / bencher.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "{label:<60} {:>12.3?}/iter ({} iterations)",
+        per_iter, bencher.iterations
+    );
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(None, &id.into(), self.measurement_window, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall-clock
+    /// window rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            Some(&self.name),
+            &id.into(),
+            self.criterion.measurement_window,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut criterion = Criterion {
+            measurement_window: Duration::from_millis(5),
+        };
+        sample_bench(&mut criterion);
+        criterion.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,312 @@
+//! Vendored, dependency-free subset of `rand` 0.8.
+//!
+//! Provides the traits the workspace uses ([`RngCore`], [`Rng`],
+//! [`SeedableRng`], [`seq::SliceRandom`]) plus the [`distributions`]
+//! machinery backing `rng.gen()` and `rand_distr`. Determinism is the only
+//! contract callers rely on (all seeding in this repo is explicit), so the
+//! generators do not bit-match upstream `rand` streams.
+
+/// A low-level source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution
+    /// (uniform over `[0, 1)` for floats, uniform over all values for
+    /// integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distributions and uniform-range sampling.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The "natural" distribution of a type: uniform `[0, 1)` for floats,
+    /// uniform over the whole value range for integers and `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    /// Converts a random `u64` into a uniform `f64` in `[0, 1)` using the
+    /// top 53 bits.
+    pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Ranges that can be sampled uniformly, mirroring
+    /// `rand::distributions::uniform::SampleRange`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for ::std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // Multiply-shift bounded sampling (Lemire); the slight
+                    // modulo-free bias is irrelevant for test workloads.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start.wrapping_add(hi as $t)
+                }
+            }
+
+            impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    start.wrapping_add(hi as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for ::std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    self.start + (unit_f64(rng) as $t) * (self.end - self.start)
+                }
+            }
+
+            impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    start + (unit_f64(rng) as $t) * (end - start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Extension methods for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = ((rng.next_u64() as u128 * (self.len() as u128)) >> 64) as usize;
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+/// SplitMix64: used to expand user seeds into generator state.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast default generator (xoshiro256**), available as
+/// `rand::rngs::SmallRng`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256** — deterministic, high-quality, and tiny.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = super::rngs::SmallRng::seed_from_u64(42);
+        let mut b = super::rngs::SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.gen::<f64>());
+            let n = a.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            b.gen_range(3usize..17);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = super::rngs::SmallRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,116 @@
+//! Vendored, dependency-free subset of `rand_distr`: the [`Normal`] and
+//! [`LogNormal`] distributions (Box–Muller sampling) over the vendored
+//! `rand` traits.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors for invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation (or shape) parameter was negative or NaN.
+    BadVariance,
+    /// The mean parameter was NaN.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is negative or NaN"),
+            NormalError::MeanTooSmall => write!(f, "mean is NaN"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution; fails on negative or NaN `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if mean.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if std_dev.is_nan() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+/// Draws a standard-normal sample via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal<F = f64> {
+    norm: Normal<F>,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution with the location and scale of the
+    /// underlying normal; fails on negative or NaN `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, LogNormal, Normal};
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let dist = LogNormal::new(1.0, 0.6).unwrap();
+        for _ in 0..1_000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Vendored, dependency-free subset of `tempfile`: [`tempdir`] creating a
+//! unique directory under the system temp dir, removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A directory deleted (recursively) when the handle is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a uniquely named temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        // Mix in a clock reading so names stay unique across processes that
+        // share a pid after recycling.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = base.join(format!(".tmp-ir-{pid}-{n}-{nanos:08x}"));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::AlreadyExists,
+        "could not create a unique temporary directory",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tempdir_creates_and_cleans_up() {
+        let dir = super::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        assert!(path.join("f.txt").exists());
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn tempdirs_are_unique() {
+        let a = super::tempdir().unwrap();
+        let b = super::tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
