@@ -6,7 +6,13 @@
 #   2. lints             — cargo clippy, all targets, warnings are errors
 #   3. tier-1 verify     — cargo build --release && cargo test -q
 #   4. bench compilation — the criterion benches must at least build
-#   5. example smoke     — every example runs to completion
+#   5. example smoke     — every example and figure runner runs to completion
+#   6. parallel smoke    — every figure runner again at --threads 2, so the
+#                          parallel execution layer is exercised in CI; the
+#                          table runners emit BENCH_<figure>.json series
+#   7. bench baseline    — bench_diff compares the emitted series against
+#                          the committed bench_baselines/ (shape and the
+#                          deterministic metrics, never wall-clock)
 #
 # Everything is offline: all dependencies are vendored path crates (see
 # vendor/README.md), so this script works without network access.
@@ -16,20 +22,20 @@ cd "$(dirname "$0")"
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "1/5 cargo fmt --check"
+step "1/7 cargo fmt --check"
 cargo fmt --all --check
 
-step "2/5 cargo clippy --workspace --all-targets -- -D warnings"
+step "2/7 cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "3/5 tier-1: cargo build --release && cargo test -q"
+step "3/7 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-step "4/5 benches compile"
+step "4/7 benches compile"
 cargo bench --no-run
 
-step "5/5 example + figure-runner smoke loop"
+step "5/7 example + figure-runner smoke loop"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -43,5 +49,20 @@ for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
     printf -- '--- figure runner: %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" >/dev/null
 done
+
+step "6/7 figure runners at --threads 2 (parallel path) + JSON emission"
+emit_dir="$(mktemp -d)"
+trap 'rm -rf "$emit_dir"' EXIT
+for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
+    figure12_kb_qlen figure13_vary_k figure14_vary_phi \
+    figure15_oneoff_vs_iterative figure16_composition_only \
+    ablation_design_choices; do
+    printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
+    IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
+        --threads 2 --emit-json "$emit_dir" >/dev/null
+done
+
+step "7/7 bench_diff against committed baseline"
+cargo run --release -q -p ir-bench --bin bench_diff -- bench_baselines "$emit_dir"
 
 printf '\nCI OK\n'

@@ -65,5 +65,27 @@ fn main() -> IrResult<()> {
         "cost: {} candidates evaluated, {} logical page reads",
         report.stats.evaluated_candidates, report.stats.io.logical_reads
     );
+
+    // Serving many queries: BatchRegionComputation fans a whole batch out
+    // over a worker pool sharing the same warm buffer pool. The reports come
+    // back in query order with identical regions for every worker count —
+    // here the two-worker run must agree with the sequential one.
+    let batch: Vec<QueryVector> = (0..4).map(|_| query.clone()).collect();
+    let sequential = BatchRegionComputation::new(&index, config).run(&batch)?;
+    let parallel = BatchRegionComputation::new(&index, config)
+        .with_threads(2)
+        .run(&batch)?;
+    assert!(sequential
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.dims == b.dims));
+    println!(
+        "batch of {} queries over 2 workers: identical regions, {} logical reads total",
+        batch.len(),
+        parallel
+            .iter()
+            .map(|r| r.stats.io.logical_reads + r.stats.topk_io.logical_reads)
+            .sum::<u64>()
+    );
     Ok(())
 }

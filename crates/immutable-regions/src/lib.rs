@@ -18,8 +18,14 @@
 //! | storage | [`storage`] | paged inverted lists, tuple file, buffer pool, I/O accounting |
 //! | geometry | [`geometry`] | score-coordinate lines, lower envelopes, kinetic sweep |
 //! | top-k | [`topk`] | the resumable random-access Threshold Algorithm |
-//! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle |
+//! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle, parallel driver |
 //! | workloads | [`datagen`] | WSJ-like, KB-like and ST dataset generators |
+//!
+//! For serving many queries at once, [`core::parallel::BatchRegionComputation`]
+//! fans a whole batch out over a worker pool sharing one warm buffer pool.
+//! The regions and deterministic counters (evaluated candidates, logical
+//! reads) are identical for every worker count; only wall-clock time and
+//! cache-dependent physical-read counts vary.
 //!
 //! ## Quickstart
 //!
@@ -55,8 +61,9 @@ pub use ir_types as types;
 /// Everything needed for typical use, importable with one `use`.
 pub mod prelude {
     pub use ir_core::{
-        Algorithm, ComputationStats, DimRegions, ExhaustiveOracle, Perturbation, RegionBoundary,
-        RegionComputation, RegionConfig, RegionReport, WeightRegion,
+        Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats, DimRegions,
+        ExhaustiveOracle, Perturbation, RegionBoundary, RegionComputation, RegionConfig,
+        RegionReport, WeightRegion,
     };
     pub use ir_datagen::{
         CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,

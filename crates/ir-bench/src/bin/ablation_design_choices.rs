@@ -12,18 +12,46 @@
 //!
 //! Run with `cargo run --release -p ir-bench --bin ablation_design_choices`.
 
-use ir_bench::{BenchDataset, Scale};
-use ir_core::{Algorithm, RegionComputation, RegionConfig};
+use ir_bench::{BenchArgs, BenchDataset, Scale};
+use ir_core::{Algorithm, RegionComputation, RegionConfig, RegionReport};
 use ir_storage::{IndexBuilder, IoConfig};
 use ir_topk::{ProbeStrategy, TaConfig, TaRun};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     probe_strategy_ablation(scale)?;
-    pool_size_ablation(scale)?;
-    phase2_pool_ablation(scale)?;
+    pool_size_ablation(scale, args.threads)?;
+    phase2_pool_ablation(scale, args.threads)?;
+    args.report_wall_clock(started);
     Ok(())
+}
+
+/// Measures on the sequential path — the printed ablation numbers are
+/// identical for every `--threads` value. With more than one worker, a
+/// second computation then exercises the per-dimension parallel driver and
+/// its regions are checked against the sequential ones; it runs *after*
+/// measurement so the measured cache behaviour is untouched.
+fn measure_and_check(
+    index: &ir_storage::TopKIndex,
+    query: &ir_types::QueryVector,
+    config: RegionConfig,
+    threads: usize,
+) -> IrResult<RegionReport> {
+    let mut rc = RegionComputation::new(index, query, config)?;
+    let report = rc.compute()?;
+    if threads > 1 {
+        let check = RegionComputation::new(index, query, config)?;
+        let parallel = check.compute_parallel(threads)?;
+        assert_eq!(
+            report.dims, parallel.dims,
+            "parallel regions diverged from sequential"
+        );
+    }
+    Ok(report)
 }
 
 fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
@@ -68,7 +96,7 @@ fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
     Ok(())
 }
 
-fn pool_size_ablation(scale: Scale) -> IrResult<()> {
+fn pool_size_ablation(scale: Scale, threads: usize) -> IrResult<()> {
     println!("=== Ablation 2: buffer-pool size (WSJ-like, k = 10, qlen = 4) ===");
     println!(
         "{:<12} {:<8} {:>16} {:>16} {:>14}",
@@ -89,8 +117,8 @@ fn pool_size_ablation(scale: Scale) -> IrResult<()> {
             let mut physical = 0u64;
             for query in workload.iter() {
                 index.cold_start();
-                let mut rc = RegionComputation::new(&index, query, RegionConfig::flat(algorithm))?;
-                let report = rc.compute()?;
+                let report =
+                    measure_and_check(&index, query, RegionConfig::flat(algorithm), threads)?;
                 logical += report.stats.io.logical_reads;
                 physical += report.stats.io.physical_reads;
             }
@@ -111,7 +139,7 @@ fn pool_size_ablation(scale: Scale) -> IrResult<()> {
     Ok(())
 }
 
-fn phase2_pool_ablation(scale: Scale) -> IrResult<()> {
+fn phase2_pool_ablation(scale: Scale, threads: usize) -> IrResult<()> {
     println!("=== Ablation 3: evaluated candidates per technique (k = 10, qlen = 4) ===");
     println!(
         "{:<10} {:<8} {:>20} {:>16}",
@@ -123,8 +151,8 @@ fn phase2_pool_ablation(scale: Scale) -> IrResult<()> {
             let mut evaluated = 0.0;
             let mut initial = 0usize;
             for query in workload.iter() {
-                let mut rc = RegionComputation::new(&index, query, RegionConfig::flat(algorithm))?;
-                let report = rc.compute()?;
+                let report =
+                    measure_and_check(&index, query, RegionConfig::flat(algorithm), threads)?;
                 evaluated += report.stats.evaluated_per_dim_avg();
                 initial += report.stats.initial_candidates;
             }

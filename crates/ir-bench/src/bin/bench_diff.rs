@@ -1,0 +1,92 @@
+//! Diffs freshly emitted `BENCH_<figure>.json` series against a committed
+//! baseline directory.
+//!
+//! Usage: `bench_diff <baseline_dir> <candidate_dir>`
+//!
+//! Every `BENCH_*.json` in the baseline must exist in the candidate and
+//! pass [`ir_bench::compare_figures`]: same methods, same x grids, the
+//! deterministic metrics (evaluated candidates, logical reads, memory)
+//! within 1%, and the cross-method dominance shape intact. Wall-clock and
+//! physical-read metrics are never compared. Exit code 1 on any violation —
+//! the CI regression gate.
+
+use ir_bench::{compare_figures, read_figure};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, candidate_dir] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline_dir> <candidate_dir>");
+        return ExitCode::FAILURE;
+    };
+
+    let mut baseline_files: Vec<_> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read baseline dir {baseline_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        eprintln!("no BENCH_*.json files in {baseline_dir}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+
+    // Candidate emissions with no committed baseline would otherwise get
+    // zero regression coverage forever — flag them.
+    if let Ok(entries) = std::fs::read_dir(candidate_dir) {
+        for name in entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        {
+            if !baseline_files.contains(&name) {
+                violations.push(format!(
+                    "{name}: emitted but not in the baseline — commit it to {baseline_dir}"
+                ));
+            }
+        }
+    }
+
+    for name in &baseline_files {
+        let baseline = match read_figure(&Path::new(baseline_dir).join(name)) {
+            Ok(series) => series,
+            Err(e) => {
+                violations.push(format!("baseline {name}: {e}"));
+                continue;
+            }
+        };
+        let candidate_path = Path::new(candidate_dir).join(name);
+        if !candidate_path.exists() {
+            violations.push(format!("{name}: missing from candidate run"));
+            continue;
+        }
+        match read_figure(&candidate_path) {
+            Ok(candidate) => {
+                violations.extend(compare_figures(&baseline, &candidate));
+                compared += 1;
+            }
+            Err(e) => violations.push(format!("candidate {name}: {e}")),
+        }
+    }
+
+    if violations.is_empty() {
+        println!("bench_diff: {compared} figure series match the baseline");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_diff: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

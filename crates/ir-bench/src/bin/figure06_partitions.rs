@@ -5,14 +5,17 @@
 //! score-vs-coordinate dump of result and candidate tuples (the scatter the
 //! paper plots).
 
-use ir_bench::{BenchDataset, Scale};
+use ir_bench::{BenchArgs, BenchDataset, Scale};
 use ir_core::partition::Partition;
 use ir_core::{RegionComputation, RegionConfig};
 use ir_datagen::{QueryWorkload, WorkloadConfig};
 use ir_storage::TopKIndex;
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     for dataset_kind in [BenchDataset::Wsj, BenchDataset::St] {
         let dataset = dataset_kind.generate(scale);
@@ -64,7 +67,17 @@ fn main() -> IrResult<()> {
         for entry in candidates.iter().take(30) {
             println!("    C {:.4} {:.4}", entry.score, entry.coord(0));
         }
+        // The regions behind the partitions, solved with the per-dimension
+        // parallel driver (identical output for every worker count).
+        let report = computation.compute_parallel(args.threads)?;
+        for dim in &report.dims {
+            println!(
+                "  IR(dim {:>6}) = ({:+.4}, {:+.4})",
+                dim.dim.0, dim.immutable.lo, dim.immutable.hi
+            );
+        }
         println!();
     }
+    args.report_wall_clock(started);
     Ok(())
 }

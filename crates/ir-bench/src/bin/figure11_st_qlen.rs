@@ -1,10 +1,15 @@
 //! Figure 11: ST correlated data, k = 10, varying qlen ∈ {2, 4, 6, 8, 10}.
 
-use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
     let mut table = ExperimentTable::new(
@@ -14,16 +19,19 @@ fn main() -> IrResult<()> {
     for qlen in [2usize, 4, 6, 8, 10] {
         let (index, workload) = BenchDataset::St.prepare(scale, qlen, 10, queries)?;
         for algorithm in Algorithm::ALL {
-            let row = measure_method(
+            let row = measure_method_threaded(
                 &index,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm),
                 qlen as f64,
+                args.threads,
             )?;
             table.push(row);
         }
     }
     print_table(&table);
+    args.emit("figure11_st_qlen", &table)?;
+    args.report_wall_clock(started);
     Ok(())
 }

@@ -1,10 +1,15 @@
 //! Figure 12: KB image features, k = 10, varying qlen ∈ {2, 12, 24, 36, 48}.
 
-use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
     let mut table = ExperimentTable::new(
@@ -18,16 +23,19 @@ fn main() -> IrResult<()> {
     for &qlen in qlens {
         let (index, workload) = BenchDataset::Kb.prepare(scale, qlen, 10, queries)?;
         for algorithm in Algorithm::ALL {
-            let row = measure_method(
+            let row = measure_method_threaded(
                 &index,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm),
                 qlen as f64,
+                args.threads,
             )?;
             table.push(row);
         }
     }
     print_table(&table);
+    args.emit("figure12_kb_qlen", &table)?;
+    args.report_wall_clock(started);
     Ok(())
 }

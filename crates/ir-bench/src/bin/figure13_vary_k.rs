@@ -1,10 +1,15 @@
 //! Figure 13: WSJ and ST, qlen = 4, varying k ∈ {10, 20, 40, 60, 80}.
 
-use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
     let ks: &[usize] = match scale {
@@ -19,17 +24,24 @@ fn main() -> IrResult<()> {
         for &k in ks {
             let (index, workload) = dataset.prepare(scale, 4, k, queries)?;
             for algorithm in Algorithm::ALL {
-                let row = measure_method(
+                let row = measure_method_threaded(
                     &index,
                     &workload,
                     algorithm,
                     RegionConfig::flat(algorithm),
                     k as f64,
+                    args.threads,
                 )?;
                 table.push(row);
             }
         }
         print_table(&table);
+        let figure_id = match dataset {
+            BenchDataset::Wsj => "figure13_vary_k_wsj",
+            _ => "figure13_vary_k_st",
+        };
+        args.emit(figure_id, &table)?;
     }
+    args.report_wall_clock(started);
     Ok(())
 }

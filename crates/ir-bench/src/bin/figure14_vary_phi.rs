@@ -1,10 +1,15 @@
 //! Figure 14: WSJ, k = 10, qlen = 4, varying φ ∈ {0, 10, 20, 30, 40}.
 
-use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
     let phis: &[usize] = match scale {
@@ -18,16 +23,19 @@ fn main() -> IrResult<()> {
     );
     for &phi in phis {
         for algorithm in Algorithm::ALL {
-            let row = measure_method(
+            let row = measure_method_threaded(
                 &index,
                 &workload,
                 algorithm,
                 RegionConfig::with_phi(algorithm, phi),
                 phi as f64,
+                args.threads,
             )?;
             table.push(row);
         }
     }
     print_table(&table);
+    args.emit("figure14_vary_phi", &table)?;
+    args.report_wall_clock(started);
     Ok(())
 }

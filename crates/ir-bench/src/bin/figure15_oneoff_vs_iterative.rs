@@ -2,12 +2,16 @@
 //! single-region requests, for Prune and CPT.
 
 use ir_bench::{
-    measure_iterative, measure_method, print_table, BenchDataset, ExperimentTable, Scale,
+    measure_iterative_threaded, measure_method_threaded, print_table, BenchArgs, BenchDataset,
+    ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale).min(10);
     let phis: &[usize] = match scale {
@@ -21,18 +25,26 @@ fn main() -> IrResult<()> {
     );
     for &phi in phis {
         for algorithm in [Algorithm::Prune, Algorithm::Cpt] {
-            table.push(measure_method(
+            table.push(measure_method_threaded(
                 &index,
                 &workload,
                 algorithm,
                 RegionConfig::with_phi(algorithm, phi),
                 phi as f64,
+                args.threads,
             )?);
-            table.push(measure_iterative(
-                &index, &workload, algorithm, phi, phi as f64,
+            table.push(measure_iterative_threaded(
+                &index,
+                &workload,
+                algorithm,
+                phi,
+                phi as f64,
+                args.threads,
             )?);
         }
     }
     print_table(&table);
+    args.emit("figure15_oneoff_vs_iterative", &table)?;
+    args.report_wall_clock(started);
     Ok(())
 }

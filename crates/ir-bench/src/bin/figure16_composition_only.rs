@@ -2,11 +2,16 @@
 //! varying qlen — only changes of the result composition count as
 //! perturbations.
 
-use ir_bench::{measure_method, print_table, BenchDataset, ExperimentTable, Scale};
+use ir_bench::{
+    measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
+};
 use ir_core::{Algorithm, RegionConfig};
 use ir_types::IrResult;
+use std::time::Instant;
 
 fn main() -> IrResult<()> {
+    let args = BenchArgs::parse();
+    let started = Instant::now();
     let scale = Scale::from_env();
     let queries = BenchDataset::queries_per_point(scale);
     let mut table = ExperimentTable::new(
@@ -16,16 +21,19 @@ fn main() -> IrResult<()> {
     for qlen in [2usize, 4, 6, 8, 10] {
         let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
         for algorithm in Algorithm::ALL {
-            let row = measure_method(
+            let row = measure_method_threaded(
                 &index,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm).composition_only(),
                 qlen as f64,
+                args.threads,
             )?;
             table.push(row);
         }
     }
     print_table(&table);
+    args.emit("figure16_composition_only", &table)?;
+    args.report_wall_clock(started);
     Ok(())
 }

@@ -1,0 +1,155 @@
+//! Command-line options shared by every figure/ablation runner binary.
+//!
+//! All runners understand
+//!
+//! * `--threads N` (or env `IR_BENCH_THREADS`) — worker count for the
+//!   parallel execution layer; the default `1` is the sequential path. The
+//!   deterministic series (evaluated candidates, logical reads, memory)
+//!   are identical for every value; wall-clock time, physical reads and
+//!   the simulated I/O time vary, because threaded runs share one warm
+//!   buffer pool instead of cold-starting per query,
+//! * `--emit-json DIR` (or env `IR_BENCH_EMIT_DIR`) — write each printed
+//!   table as a `BENCH_<figure>.json` series into `DIR` (for the CI
+//!   baseline diff; see the `bench_diff` binary).
+//!
+//! Unknown arguments are ignored so the runners stay tolerant of harness
+//! plumbing.
+
+use crate::emit::{table_to_series, write_figure};
+use crate::runner::ExperimentTable;
+use ir_types::{IrError, IrResult};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parsed runner options.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// Worker count for batch/per-dimension parallel execution (1 =
+    /// sequential, today's default path).
+    pub threads: usize,
+    /// Directory to write `BENCH_<figure>.json` series into, if any.
+    pub emit_dir: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (with environment-variable fallbacks).
+    pub fn parse() -> Self {
+        Self::from_arg_list(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_arg_list<I: IntoIterator<Item = String>>(args: I) -> Self {
+        // A flag matches only exactly (`--threads 4`) or in `=` form
+        // (`--threads=4`); a value is never taken from a following `--flag`,
+        // so a missing value cannot swallow the next option.
+        fn flag_value(
+            arg: &str,
+            name: &str,
+            args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+        ) -> Option<String> {
+            if let Some(rest) = arg.strip_prefix(name) {
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.to_string());
+                }
+                if rest.is_empty() {
+                    if args.peek().is_some_and(|next| !next.starts_with("--")) {
+                        return args.next();
+                    }
+                    eprintln!("warning: {name} requires a value; flag ignored");
+                }
+            }
+            None
+        }
+
+        let mut threads: Option<usize> = None;
+        let mut emit_dir: Option<PathBuf> = None;
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            if let Some(value) = flag_value(&arg, "--threads", &mut args) {
+                match value.parse::<usize>() {
+                    Ok(n) => threads = Some(n.max(1)),
+                    Err(_) => eprintln!("warning: invalid --threads value `{value}`; ignored"),
+                }
+            } else if let Some(dir) = flag_value(&arg, "--emit-json", &mut args) {
+                emit_dir = Some(PathBuf::from(dir));
+            }
+        }
+        let threads = threads
+            .or_else(|| {
+                std::env::var("IR_BENCH_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1);
+        let emit_dir = emit_dir.or_else(|| std::env::var("IR_BENCH_EMIT_DIR").ok().map(Into::into));
+        BenchArgs { threads, emit_dir }
+    }
+
+    /// Writes `table` as `BENCH_<figure>.json` into the emission directory;
+    /// a no-op when `--emit-json` was not given.
+    pub fn emit(&self, figure: &str, table: &ExperimentTable) -> IrResult<()> {
+        let Some(dir) = &self.emit_dir else {
+            return Ok(());
+        };
+        let series = table_to_series(figure, table);
+        let path = write_figure(dir, &series)
+            .map_err(|e| IrError::Storage(format!("emitting {figure}: {e}")))?;
+        eprintln!("emitted {}", path.display());
+        Ok(())
+    }
+
+    /// Prints the total wall-clock time of the runner, labelled with the
+    /// worker count — the number the `--threads` speedup comparison reads.
+    pub fn report_wall_clock(&self, started: Instant) {
+        println!(
+            "wall-clock: {:.3} s (threads = {})",
+            started.elapsed().as_secs_f64(),
+            self.threads
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_threads_and_emit_dir() {
+        let args = BenchArgs::from_arg_list(strings(&["--threads", "4", "--emit-json", "/tmp/x"]));
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.emit_dir, Some(PathBuf::from("/tmp/x")));
+        let args = BenchArgs::from_arg_list(strings(&["--threads=2", "--emit-json=out"]));
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.emit_dir, Some(PathBuf::from("out")));
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored_and_threads_clamped() {
+        let args = BenchArgs::from_arg_list(strings(&["--bench", "--threads", "0", "extra"]));
+        assert_eq!(args.threads, 1);
+        assert_eq!(args.emit_dir, None);
+    }
+
+    #[test]
+    fn missing_value_does_not_swallow_the_next_flag() {
+        let args = BenchArgs::from_arg_list(strings(&["--threads", "--emit-json", "out"]));
+        assert_eq!(args.threads, 1, "bad --threads must be ignored");
+        assert_eq!(
+            args.emit_dir,
+            Some(PathBuf::from("out")),
+            "--emit-json must survive a value-less --threads before it"
+        );
+    }
+
+    #[test]
+    fn prefix_garbage_does_not_match_flags() {
+        let args = BenchArgs::from_arg_list(strings(&["--threadsX", "4", "--emit-jsonish", "d"]));
+        assert_eq!(args.threads, 1);
+        assert_eq!(args.emit_dir, None);
+    }
+}

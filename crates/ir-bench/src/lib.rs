@@ -9,14 +9,28 @@
 //! `IR_BENCH_SCALE` environment variable: `smoke` (seconds, CI-friendly),
 //! `default` (minutes, laptop-scale — the scale used for the numbers in
 //! `EXPERIMENTS.md`), or `full` (the paper's cardinalities).
+//!
+//! Every runner additionally accepts `--threads N` (fan the workload out
+//! over N workers of the parallel execution layer; the measured candidate
+//! and logical-read series are identical for every N) and
+//! `--emit-json DIR` (write each table as `BENCH_<figure>.json` for the CI
+//! baseline diff performed by the `bench_diff` binary). See [`cli`] and
+//! [`emit`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod emit;
 pub mod metrics;
 pub mod runner;
 pub mod workloads;
 
+pub use cli::BenchArgs;
+pub use emit::{compare_figures, read_figure, table_to_series, write_figure, FigureSeries};
 pub use metrics::{MethodMeasurement, MethodSeries};
-pub use runner::{measure_iterative, measure_method, print_table, ExperimentTable};
+pub use runner::{
+    measure_iterative, measure_iterative_threaded, measure_method, measure_method_threaded,
+    print_table, ExperimentTable,
+};
 pub use workloads::{BenchDataset, Scale};

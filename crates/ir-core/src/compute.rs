@@ -49,9 +49,13 @@ impl<'a> RegionComputation<'a> {
         config: RegionConfig,
         ta_config: &TaConfig,
     ) -> IrResult<Self> {
-        let before = index.io_snapshot();
+        // Diff the calling thread's own stats shard (not the pool total) so
+        // the TA I/O stays correctly attributed even when other workers are
+        // using the same buffer pool concurrently; single-threaded the two
+        // are identical.
+        let before = index.thread_io_snapshot();
         let ta = TaRun::execute(index, query, ta_config)?;
-        let topk_io = index.io_snapshot().since(&before);
+        let topk_io = index.thread_io_snapshot().since(&before);
         Ok(RegionComputation {
             index,
             ta,
@@ -85,7 +89,10 @@ impl<'a> RegionComputation<'a> {
     /// regions) of every query dimension.
     pub fn compute(&mut self) -> IrResult<RegionReport> {
         let initial_candidates = self.ta.candidates().len();
-        let io_before = self.index.io_snapshot();
+        // Thread-shard diff, like `with_ta_config`: identical to the pool
+        // total in sequential use, correctly attributed when other workers
+        // share the pool.
+        let io_before = self.index.thread_io_snapshot();
         let started = Instant::now();
 
         let mut evaluator = CandidateEvaluator::new(self.index);
@@ -130,7 +137,7 @@ impl<'a> RegionComputation<'a> {
         }
 
         let cpu_time = started.elapsed();
-        let io = self.index.io_snapshot().since(&io_before);
+        let io = self.index.thread_io_snapshot().since(&io_before);
         let stats = ComputationStats {
             evaluated_candidates: evaluated_total,
             evaluated_per_dim,
@@ -139,6 +146,64 @@ impl<'a> RegionComputation<'a> {
             io,
             topk_io: self.topk_io,
             cpu_time,
+            memory_footprint_bytes: footprint,
+        };
+        Ok(RegionReport { dims, stats })
+    }
+
+    /// Computes the regions with the per-dimension solves fanned out over
+    /// up to `threads` workers (see [`crate::parallel`]).
+    ///
+    /// Every dimension is solved from a private clone of the initial TA
+    /// snapshot, so the report — regions *and* candidate counts — is
+    /// identical for every `threads` value; only `cpu_time` and
+    /// physical-read counts (cache dependent) vary. Unlike
+    /// [`RegionComputation::compute`], later dimensions do not reuse the
+    /// Phase-3 discoveries of earlier ones, which is exactly what makes the
+    /// solves order-free; the regions themselves are the same either way.
+    pub fn compute_parallel(&self, threads: usize) -> IrResult<RegionReport> {
+        let initial_candidates = self.ta.candidates().len();
+        let started = Instant::now();
+        let qlen = self.ta.dims().len();
+
+        let (solved, _worker_io) =
+            crate::parallel::run_queries(self.index, threads, qlen, |dim_index| {
+                let before = self.index.thread_io_snapshot();
+                let result = crate::parallel::solve_dim_from_snapshot(
+                    self.index,
+                    &self.ta,
+                    dim_index,
+                    &self.config,
+                );
+                let io = self.index.thread_io_snapshot().since(&before);
+                result.map(|(regions, info)| (regions, info, io))
+            });
+
+        // Merge in dimension order — fixed by index, never completion order.
+        let mut dims: Vec<DimRegions> = Vec::with_capacity(qlen);
+        let mut evaluated_per_dim = Vec::with_capacity(qlen);
+        let mut evaluated_total = 0u64;
+        let mut phase3_total = 0u64;
+        let mut footprint = 0usize;
+        let mut io = ir_storage::IoStatsSnapshot::default();
+        for solved_dim in solved {
+            let (regions, info, dim_io) = solved_dim?;
+            evaluated_per_dim.push(info.evaluated);
+            evaluated_total += info.evaluated;
+            phase3_total += info.phase3_tuples;
+            footprint = footprint.max(info.footprint_bytes);
+            io = io.plus(&dim_io);
+            dims.push(regions);
+        }
+
+        let stats = ComputationStats {
+            evaluated_candidates: evaluated_total,
+            evaluated_per_dim,
+            phase3_tuples: phase3_total,
+            initial_candidates,
+            io,
+            topk_io: self.topk_io,
+            cpu_time: started.elapsed(),
             memory_footprint_bytes: footprint,
         };
         Ok(RegionReport { dims, stats })

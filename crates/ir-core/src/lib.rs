@@ -27,7 +27,10 @@
 //!
 //! The entry point is [`RegionComputation`]; [`oracle::ExhaustiveOracle`]
 //! provides an `O(n²)` reference implementation used by the test-suite to
-//! validate every algorithm on randomized inputs.
+//! validate every algorithm on randomized inputs. The [`parallel`] module
+//! adds a deterministic work-stealing driver on top: per-dimension fan-out
+//! within a query ([`RegionComputation::compute_parallel`]) and
+//! [`BatchRegionComputation`] for many queries over one warm buffer pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod iterative;
 pub mod lemma;
 pub mod metrics;
 pub mod oracle;
+pub mod parallel;
 pub mod partition;
 pub mod region;
 pub mod solver_flat;
@@ -49,4 +53,5 @@ pub use compute::RegionComputation;
 pub use config::{Algorithm, PerturbationMode, RegionConfig};
 pub use metrics::ComputationStats;
 pub use oracle::ExhaustiveOracle;
+pub use parallel::{BatchOutcome, BatchRegionComputation};
 pub use region::{DimRegions, Perturbation, RegionBoundary, RegionReport, WeightRegion};

@@ -1,0 +1,358 @@
+//! Parallel execution of region computations.
+//!
+//! The per-dimension region computations of a query are independent (they
+//! only read the frozen TA snapshot and the shared, `Sync` index), and so
+//! are the computations of distinct queries. This module exploits both
+//! levels:
+//!
+//! * [`RegionComputation::compute_parallel`](crate::RegionComputation::compute_parallel)
+//!   fans the per-dimension solves of *one* query out over a scoped
+//!   work-stealing worker pool, and
+//! * [`BatchRegionComputation`] runs *many* queries concurrently over one
+//!   warm buffer pool, each worker owning its private scratch state (a
+//!   cloned [`TaRun`] snapshot plus a fresh
+//!   [`CandidateEvaluator`](crate::evaluator::CandidateEvaluator)).
+//!
+//! **Determinism.** Parallel output is byte-for-byte identical for every
+//! worker count, and merge order is fixed by dimension / query index, never
+//! by completion order. Per-dimension fan-out solves each dimension from a
+//! private clone of the *initial* TA snapshot — a pure function of index +
+//! query, independent of scheduling. Batch fan-out runs each query's plain
+//! sequential solve on one worker, so its reports equal the sequential
+//! oracle's exactly (regions *and* candidate counts). Only wall-clock time
+//! and physical-read counts (cache-state dependent) may vary between runs.
+//!
+//! **I/O attribution.** Workers register a private shard of the pool's
+//! sharded I/O counters ([`ir_storage::set_thread_stats_shard`]) and diff it
+//! around their own work, so per-query and per-worker I/O tallies stay exact
+//! while many workers hammer the same buffer pool, and the per-worker
+//! tallies always merge losslessly into the pool total.
+
+use crate::compute::RegionComputation;
+use crate::config::{PerturbationMode, RegionConfig};
+use crate::evaluator::CandidateEvaluator;
+use crate::region::{DimRegions, RegionReport};
+use crate::solver_flat::{solve_dim_flat, DimSolveInfo};
+use crate::solver_phi::solve_dim_phi;
+use ir_storage::{IoStatsSnapshot, TopKIndex};
+use ir_topk::{TaConfig, TaRun};
+use ir_types::{IrResult, QueryVector};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Global allocator of worker shard hints: each pool of workers takes a
+/// consecutive block, so up to [`ir_storage::IO_STATS_SHARDS`] concurrent
+/// workers own pairwise-distinct shards.
+static NEXT_SHARD_HINT: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs `n` index-bound jobs on up to `threads` workers and returns the
+/// results **in job order** together with one I/O tally per worker.
+///
+/// The driver is a scoped work-stealing pool: workers pull the next
+/// unclaimed job index from a shared atomic counter until none remain, so
+/// an uneven job mix self-balances. With `threads <= 1` (or a single job)
+/// everything runs inline on the caller — bit-identical to the threaded
+/// path, because job results never depend on which worker ran them.
+///
+/// Each spawned worker pins a private I/O-stats shard and reports the shard
+/// delta it caused; with the run's workers owning their shards (guaranteed
+/// within a single run — worker counts are capped at the shard count) the
+/// tallies sum to exactly the I/O of the whole run. If *other* threads use
+/// the same pool concurrently (another driver run, or a sequential caller
+/// whose hash-derived shard collides), their reads can blur into a worker's
+/// tally; the pool totals remain exact either way.
+pub fn run_queries<T, F>(
+    index: &TopKIndex,
+    threads: usize,
+    n: usize,
+    job: F,
+) -> (Vec<T>, Vec<IoStatsSnapshot>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // Clamp to the shard count: a single pool of up to IO_STATS_SHARDS
+    // workers owns pairwise-distinct stats shards (consecutive hint block),
+    // which is what keeps the per-worker I/O tallies exact. More workers
+    // than shards would alias shards and double-count concurrent diffs.
+    let threads = threads
+        .max(1)
+        .min(n.max(1))
+        .min(ir_storage::IO_STATS_SHARDS);
+    if threads <= 1 {
+        let before = index.thread_io_snapshot();
+        let items: Vec<T> = (0..n).map(&job).collect();
+        let io = index.thread_io_snapshot().since(&before);
+        return (items, vec![io]);
+    }
+
+    let next_job = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let tallies: Mutex<Vec<IoStatsSnapshot>> = Mutex::new(Vec::with_capacity(threads));
+    let hint_base = NEXT_SHARD_HINT.fetch_add(threads, Ordering::Relaxed);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let job = &job;
+            let next_job = &next_job;
+            let collected = &collected;
+            let tallies = &tallies;
+            scope.spawn(move || {
+                ir_storage::set_thread_stats_shard(hint_base.wrapping_add(worker));
+                let before = index.thread_io_snapshot();
+                let mut local = Vec::new();
+                loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, job(i)));
+                }
+                let io = index.thread_io_snapshot().since(&before);
+                collected
+                    .lock()
+                    .expect("worker results poisoned")
+                    .extend(local);
+                tallies.lock().expect("worker tallies poisoned").push(io);
+            });
+        }
+    });
+    let mut items = collected.into_inner().expect("worker results poisoned");
+    items.sort_by_key(|(i, _)| *i);
+    (
+        items.into_iter().map(|(_, item)| item).collect(),
+        tallies.into_inner().expect("worker tallies poisoned"),
+    )
+}
+
+/// Solves one query dimension from a frozen TA snapshot.
+///
+/// The snapshot is cloned, so the caller's `TaRun` is untouched and many
+/// workers can solve distinct dimensions of the same query concurrently.
+/// The result is a pure function of `(index contents, snapshot, dim_index,
+/// config)` — independent of thread count and scheduling — which is what
+/// makes the parallel drivers deterministic.
+pub fn solve_dim_from_snapshot(
+    index: &TopKIndex,
+    ta: &TaRun,
+    dim_index: usize,
+    config: &RegionConfig,
+) -> IrResult<(DimRegions, DimSolveInfo)> {
+    let mut ta = ta.clone();
+    let mut evaluator = CandidateEvaluator::new(index);
+    evaluator.start_dimension();
+    // Same dispatch as the sequential path (see `RegionComputation::compute`):
+    // the flat Lemma-1 solver is only valid while reorderings count as
+    // perturbations and a single region is requested.
+    let use_flat = config.phi == 0 && config.mode == PerturbationMode::WithReorderings;
+    if use_flat {
+        solve_dim_flat(index, &mut ta, dim_index, config, &mut evaluator)
+    } else {
+        solve_dim_phi(index, &mut ta, dim_index, config, &mut evaluator)
+    }
+}
+
+/// The outcome of a [`BatchRegionComputation`] run: the per-query reports
+/// (in query order) plus batch-level bookkeeping.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// One report per input query, in input order regardless of which
+    /// worker finished when.
+    pub reports: Vec<RegionReport>,
+    /// I/O attributed to each worker of the pool; sums to the I/O of the
+    /// whole batch when this batch's threads are the pool's only users
+    /// (see [`run_queries`] on shard ownership).
+    pub worker_io: Vec<IoStatsSnapshot>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchOutcome {
+    /// The batch-wide I/O: counter-wise sum of the per-worker tallies.
+    pub fn total_io(&self) -> IoStatsSnapshot {
+        self.worker_io
+            .iter()
+            .fold(IoStatsSnapshot::default(), |acc, io| acc.plus(io))
+    }
+}
+
+/// Runs many queries concurrently over one shared index and warm buffer
+/// pool — the "serve heavy traffic" entry point.
+///
+/// ```
+/// use ir_core::{parallel::BatchRegionComputation, RegionConfig};
+/// use ir_storage::TopKIndex;
+/// use ir_types::{Dataset, QueryVector};
+///
+/// let dataset = Dataset::running_example();
+/// let index = TopKIndex::build_in_memory(&dataset).unwrap();
+/// let queries = vec![QueryVector::running_example(); 4];
+/// let batch = BatchRegionComputation::new(&index, RegionConfig::default()).with_threads(2);
+/// let reports = batch.run(&queries).unwrap();
+/// assert_eq!(reports.len(), 4);
+/// // Deterministic: every worker count yields identical regions.
+/// let sequential = BatchRegionComputation::new(&index, RegionConfig::default())
+///     .run(&queries)
+///     .unwrap();
+/// assert!(reports
+///     .iter()
+///     .zip(&sequential)
+///     .all(|(a, b)| a.dims == b.dims));
+/// ```
+#[derive(Clone, Copy)]
+pub struct BatchRegionComputation<'a> {
+    index: &'a TopKIndex,
+    config: RegionConfig,
+    ta_config: TaConfig,
+    threads: usize,
+}
+
+impl<'a> BatchRegionComputation<'a> {
+    /// Creates a batch runner over `index` with one worker (sequential).
+    pub fn new(index: &'a TopKIndex, config: RegionConfig) -> Self {
+        BatchRegionComputation {
+            index,
+            config,
+            ta_config: TaConfig::default(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1; the driver further
+    /// caps it at [`ir_storage::IO_STATS_SHARDS`] so every worker owns a
+    /// private stats shard). Regions and deterministic counters are
+    /// identical for every value; only wall-clock time and cache-dependent
+    /// physical reads change.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the TA configuration used for every query.
+    pub fn with_ta_config(mut self, ta_config: TaConfig) -> Self {
+        self.ta_config = ta_config;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The region configuration every query runs with.
+    pub fn config(&self) -> RegionConfig {
+        self.config
+    }
+
+    /// Runs every query and returns the reports in query order.
+    pub fn run(&self, queries: &[QueryVector]) -> IrResult<Vec<RegionReport>> {
+        self.run_detailed(queries).map(|outcome| outcome.reports)
+    }
+
+    /// Runs every query, also returning per-worker I/O tallies and the
+    /// batch wall-clock time.
+    pub fn run_detailed(&self, queries: &[QueryVector]) -> IrResult<BatchOutcome> {
+        let started = Instant::now();
+        let (results, worker_io) =
+            run_queries(self.index, self.threads, queries.len(), |query_index| {
+                let mut computation = RegionComputation::with_ta_config(
+                    self.index,
+                    &queries[query_index],
+                    self.config,
+                    &self.ta_config,
+                )?;
+                // Each query runs the plain sequential solve on its worker:
+                // a query is self-contained, so the report (regions *and*
+                // candidate counts) is exactly what the sequential oracle
+                // produces, for every worker count. Per-dimension fan-out
+                // (`compute_parallel`) is a separate, latency-oriented tool.
+                computation.compute()
+            });
+        let reports = results.into_iter().collect::<IrResult<Vec<_>>>()?;
+        Ok(BatchOutcome {
+            reports,
+            worker_io,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use ir_types::{Dataset, DatasetBuilder};
+
+    fn medium_dataset() -> Dataset {
+        let mut builder = DatasetBuilder::new(5);
+        for i in 0..160u32 {
+            let pairs: Vec<(u32, f64)> = (0..5u32)
+                .map(|d| (d, (((i * 31 + d * 17) % 97) + 1) as f64 / 98.0))
+                .collect();
+            builder.push_pairs(pairs).unwrap();
+        }
+        builder.build()
+    }
+
+    fn queries(k: usize) -> Vec<QueryVector> {
+        (0..6u32)
+            .map(|i| {
+                QueryVector::new(
+                    [
+                        (i % 5, 0.2 + 0.1 * (i % 4) as f64),
+                        ((i + 1) % 5, 0.9 - 0.1 * (i % 3) as f64),
+                        ((i + 2) % 5, 0.5),
+                    ],
+                    k,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_queries_preserves_job_order() {
+        let dataset = Dataset::running_example();
+        let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
+        for threads in [1usize, 2, 5] {
+            let (items, tallies) = run_queries(&index, threads, 9, |i| i * i);
+            assert_eq!(items, (0..9).map(|i| i * i).collect::<Vec<_>>());
+            assert!(!tallies.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_reports_match_for_every_worker_count() {
+        let dataset = medium_dataset();
+        let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
+        let queries = queries(4);
+        let baseline = BatchRegionComputation::new(&index, RegionConfig::flat(Algorithm::Cpt))
+            .run(&queries)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let reports = BatchRegionComputation::new(&index, RegionConfig::flat(Algorithm::Cpt))
+                .with_threads(threads)
+                .run(&queries)
+                .unwrap();
+            assert_eq!(reports.len(), baseline.len());
+            for (a, b) in baseline.iter().zip(&reports) {
+                assert_eq!(a.dims, b.dims, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_tallies_sum_to_batch_io() {
+        let dataset = medium_dataset();
+        let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
+        index.cold_start();
+        let before = index.io_snapshot();
+        let outcome = BatchRegionComputation::new(&index, RegionConfig::default())
+            .with_threads(3)
+            .run_detailed(&queries(3))
+            .unwrap();
+        let total = index.io_snapshot().since(&before);
+        assert_eq!(outcome.total_io(), total);
+        assert!(total.logical_reads > 0);
+    }
+}

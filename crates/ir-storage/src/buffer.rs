@@ -8,7 +8,7 @@
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use crate::pagestore::PageStore;
-use crate::stats::{IoStats, IoStatsSnapshot};
+use crate::stats::{IoStatsSnapshot, ShardedIoStats};
 use ir_types::{IrError, IrResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -32,7 +32,11 @@ struct PoolInner {
 pub struct BufferPool {
     store: Arc<dyn PageStore>,
     inner: Mutex<PoolInner>,
-    stats: IoStats,
+    /// Per-worker (sharded) counters: each thread records into its own
+    /// shard, so parallel drivers can attribute I/O per worker (exact while
+    /// each worker owns its shard; see `ShardedIoStats`) and the shard
+    /// snapshots always merge losslessly into the pool total.
+    stats: ShardedIoStats,
 }
 
 impl BufferPool {
@@ -50,7 +54,7 @@ impl BufferPool {
                 tick: 0,
                 capacity: capacity.max(1),
             }),
-            stats: IoStats::new(),
+            stats: ShardedIoStats::new(),
         }
     }
 
@@ -127,9 +131,23 @@ impl BufferPool {
         self.inner.lock().frames.clear();
     }
 
-    /// Snapshot of the I/O counters.
+    /// Snapshot of the I/O counters (merged over every worker shard).
     pub fn io_snapshot(&self) -> IoStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Snapshot of the calling thread's own I/O shard. Diffing this around
+    /// a unit of work attributes its I/O to the current worker even while
+    /// other workers hammer the same pool (see
+    /// [`crate::stats::set_thread_stats_shard`]).
+    pub fn thread_io_snapshot(&self) -> IoStatsSnapshot {
+        self.stats.thread_snapshot()
+    }
+
+    /// Per-worker-shard snapshots; their counter-wise sum always equals
+    /// [`BufferPool::io_snapshot`] (the merge is lossless).
+    pub fn worker_io_snapshots(&self) -> Vec<IoStatsSnapshot> {
+        self.stats.worker_snapshots()
     }
 
     /// Resets the I/O counters (the cache content is preserved).

@@ -204,6 +204,18 @@ impl TopKIndex {
         self.pool.io_snapshot()
     }
 
+    /// Snapshot of the calling thread's own I/O shard (per-worker
+    /// attribution; see [`BufferPool::thread_io_snapshot`]).
+    pub fn thread_io_snapshot(&self) -> IoStatsSnapshot {
+        self.pool.thread_io_snapshot()
+    }
+
+    /// Per-worker-shard I/O snapshots; their sum equals
+    /// [`TopKIndex::io_snapshot`].
+    pub fn worker_io_snapshots(&self) -> Vec<IoStatsSnapshot> {
+        self.pool.worker_io_snapshots()
+    }
+
     /// Resets the I/O counters (keeps the cache warm).
     pub fn reset_io_stats(&self) {
         self.pool.reset_io_stats();

@@ -75,7 +75,10 @@ pub fn write_list(
 /// and `next` consumes it. Reading an entry touches exactly one page via the
 /// buffer pool. Cursors are cheap to clone-position: `position`/`seek` allow
 /// the resumable TA of Phase 3 to continue exactly where the top-k
-/// computation stopped.
+/// computation stopped. Cursors are `Clone`: a clone shares the buffer pool
+/// but scans independently from the cloned position, which is what lets a
+/// resumable TA state be snapshotted per worker thread.
+#[derive(Clone)]
 pub struct InvertedListCursor {
     pool: Arc<BufferPool>,
     directory: ListDirectoryEntry,

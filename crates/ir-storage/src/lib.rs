@@ -39,5 +39,8 @@ pub use index::{IndexBuilder, StorageBackend, TopKIndex};
 pub use inverted::{InvertedListCursor, ListDirectoryEntry};
 pub use page::{PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemPageStore, PageStore};
-pub use stats::{IoConfig, IoStats, IoStatsSnapshot};
+pub use stats::{
+    set_thread_stats_shard, thread_stats_shard, IoConfig, IoStats, IoStatsSnapshot, ShardedIoStats,
+    IO_STATS_SHARDS,
+};
 pub use tuplestore::TupleDirectoryEntry;

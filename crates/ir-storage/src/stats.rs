@@ -8,8 +8,46 @@
 //! reported because they are the machine-independent part of the metric.
 
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Number of per-worker statistic shards kept by a [`ShardedIoStats`]
+/// (a power of two, so consecutive shard hints never collide for up to
+/// `IO_STATS_SHARDS` concurrent workers).
+pub const IO_STATS_SHARDS: usize = 64;
+
+thread_local! {
+    /// Shard chosen for the calling thread: an explicit hint set by a
+    /// parallel driver, or lazily derived from the thread id.
+    static SHARD_HINT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Pins the calling thread's I/O accounting to shard
+/// `hint % IO_STATS_SHARDS` of every [`ShardedIoStats`] it touches.
+///
+/// Parallel drivers call this once per worker thread with a fresh hint so
+/// each worker owns a private shard and its per-worker counters can be
+/// read back with [`ShardedIoStats::thread_snapshot`]. Threads that never
+/// call it fall back to a shard derived from their thread id.
+pub fn set_thread_stats_shard(hint: usize) {
+    SHARD_HINT.with(|h| h.set(Some(hint % IO_STATS_SHARDS)));
+}
+
+/// The shard index the calling thread records into.
+pub fn thread_stats_shard() -> usize {
+    SHARD_HINT.with(|h| match h.get() {
+        Some(shard) => shard,
+        None => {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            let shard = (hasher.finish() as usize) % IO_STATS_SHARDS;
+            h.set(Some(shard));
+            shard
+        }
+    })
+}
 
 /// Mutable, thread-safe I/O counters owned by a [`crate::BufferPool`].
 #[derive(Debug, Default)]
@@ -69,6 +107,95 @@ impl IoStats {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.pages_written.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One shard padded out to its own cache line, so concurrent workers
+/// recording into adjacent shards do not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedIoStats(IoStats);
+
+/// Per-worker I/O counters: one [`IoStats`] shard per worker slot.
+///
+/// Every record lands in exactly one shard (the calling thread's, see
+/// [`thread_stats_shard`]), so the merge of the per-worker snapshots is
+/// *lossless*: [`ShardedIoStats::snapshot`] — the counter-wise sum over all
+/// shards — accounts for every recorded access. A worker that *owns* its
+/// shard (at most [`IO_STATS_SHARDS`] concurrent pinned workers, no
+/// colliding hash-derived shards from other threads on the same pool) can
+/// additionally diff [`ShardedIoStats::thread_snapshot`] around a unit of
+/// work to attribute I/O to itself without hot-path coordination; when
+/// shards are shared, the per-worker attribution blurs but the totals stay
+/// exact.
+#[derive(Debug)]
+pub struct ShardedIoStats {
+    shards: Box<[PaddedIoStats]>,
+}
+
+impl Default for ShardedIoStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedIoStats {
+    /// Creates zeroed counters with [`IO_STATS_SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedIoStats {
+            shards: (0..IO_STATS_SHARDS)
+                .map(|_| PaddedIoStats::default())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self) -> &IoStats {
+        &self.shards[thread_stats_shard() % self.shards.len()].0
+    }
+
+    /// Records a logical page read in the calling thread's shard.
+    #[inline]
+    pub fn record_logical_read(&self) {
+        self.shard().record_logical_read();
+    }
+
+    /// Records a physical page read in the calling thread's shard.
+    #[inline]
+    pub fn record_physical_read(&self) {
+        self.shard().record_physical_read();
+    }
+
+    /// Records a page write in the calling thread's shard.
+    #[inline]
+    pub fn record_write(&self) {
+        self.shard().record_write();
+    }
+
+    /// The merged snapshot: counter-wise sum over every shard.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        self.shards
+            .iter()
+            .fold(IoStatsSnapshot::default(), |acc, s| {
+                acc.plus(&s.0.snapshot())
+            })
+    }
+
+    /// Snapshot of the calling thread's own shard.
+    pub fn thread_snapshot(&self) -> IoStatsSnapshot {
+        self.shard().snapshot()
+    }
+
+    /// Per-shard snapshots (one per worker slot; unused slots are zero).
+    pub fn worker_snapshots(&self) -> Vec<IoStatsSnapshot> {
+        self.shards.iter().map(|s| s.0.snapshot()).collect()
+    }
+
+    /// Resets every shard to zero.
+    pub fn reset(&self) {
+        for shard in self.shards.iter() {
+            shard.0.reset();
+        }
     }
 }
 
@@ -169,6 +296,48 @@ mod tests {
         assert_eq!(s, b);
         // `since` saturates rather than underflowing.
         assert_eq!(a.since(&b).logical_reads, 0);
+    }
+
+    #[test]
+    fn sharded_stats_merge_losslessly_across_threads() {
+        let stats = std::sync::Arc::new(ShardedIoStats::new());
+        let mut handles = Vec::new();
+        for worker in 0..4usize {
+            let stats = std::sync::Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                super::set_thread_stats_shard(worker);
+                let before = stats.thread_snapshot();
+                for _ in 0..250 {
+                    stats.record_logical_read();
+                }
+                stats.record_physical_read();
+                stats.thread_snapshot().since(&before)
+            }));
+        }
+        let mut merged = IoStatsSnapshot::default();
+        for handle in handles {
+            merged = merged.plus(&handle.join().unwrap());
+        }
+        // Every access a worker self-reported is in the global snapshot and
+        // vice versa: the merge loses nothing.
+        assert_eq!(merged, stats.snapshot());
+        assert_eq!(merged.logical_reads, 4 * 250);
+        assert_eq!(merged.physical_reads, 4);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn thread_shard_is_stable_and_respects_hints() {
+        std::thread::spawn(|| {
+            assert_eq!(super::thread_stats_shard(), super::thread_stats_shard());
+            super::set_thread_stats_shard(7);
+            assert_eq!(super::thread_stats_shard(), 7);
+            super::set_thread_stats_shard(7 + IO_STATS_SHARDS);
+            assert_eq!(super::thread_stats_shard(), 7, "hints wrap modulo shards");
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct TaStats {
 
 /// A (possibly still resumable) TA execution: the top-k result, the candidate
 /// list, and the frozen scan state needed to continue deeper into the lists.
+///
+/// A `TaRun` is `Clone`: the clone shares the index's buffer pool but owns
+/// independent cursors, candidate list and result, so several worker threads
+/// can each resume Phase 3 from the same frozen snapshot without
+/// coordination — the basis of the deterministic parallel driver in
+/// `ir-core`.
+#[derive(Clone)]
 pub struct TaRun {
     query: QueryVector,
     dims: Vec<DimId>,
