@@ -5,12 +5,15 @@
 #   1. formatting        — cargo fmt --check
 #   2. lints             — cargo clippy, all targets, warnings are errors
 #   3. tier-1 verify     — cargo build --release && cargo test -q
-#   4. bench compilation — the criterion benches must at least build
-#   5. example smoke     — every example and figure runner runs to completion
-#   6. parallel smoke    — every figure runner again at --threads 2, so the
+#   4. api docs          — cargo doc --no-deps with rustdoc warnings as
+#                          errors, so the public API (the IrEngine façade
+#                          in particular) stays fully documented
+#   5. bench compilation — the criterion benches must at least build
+#   6. example smoke     — every example and figure runner runs to completion
+#   7. parallel smoke    — every figure runner again at --threads 2, so the
 #                          parallel execution layer is exercised in CI; the
 #                          table runners emit BENCH_<figure>.json series
-#   7. bench baseline    — bench_diff compares the emitted series against
+#   8. bench baseline    — bench_diff compares the emitted series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -22,20 +25,25 @@ cd "$(dirname "$0")"
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "1/7 cargo fmt --check"
+step "1/8 cargo fmt --check"
 cargo fmt --all --check
 
-step "2/7 cargo clippy --workspace --all-targets -- -D warnings"
+step "2/8 cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "3/7 tier-1: cargo build --release && cargo test -q"
+step "3/8 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-step "4/7 benches compile"
+step "4/8 cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
+    -p ir-datagen -p ir-bench -p immutable-regions
+
+step "5/8 benches compile"
 cargo bench --no-run
 
-step "5/7 example + figure-runner smoke loop"
+step "6/8 example + figure-runner smoke loop"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -50,7 +58,7 @@ for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" >/dev/null
 done
 
-step "6/7 figure runners at --threads 2 (parallel path) + JSON emission"
+step "7/8 figure runners at --threads 2 (parallel path) + JSON emission"
 emit_dir="$(mktemp -d)"
 trap 'rm -rf "$emit_dir"' EXIT
 for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
@@ -62,7 +70,7 @@ for figure_bin in figure06_partitions figure10_wsj_qlen figure11_st_qlen \
         --threads 2 --emit-json "$emit_dir" >/dev/null
 done
 
-step "7/7 bench_diff against committed baseline"
+step "8/8 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- bench_baselines "$emit_dir"
 
 printf '\nCI OK\n'

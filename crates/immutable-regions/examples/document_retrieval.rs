@@ -11,7 +11,7 @@
 use immutable_regions::prelude::*;
 use ir_datagen::queries::DimSelection;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     // A scaled-down WSJ-like corpus (use TextCorpusConfig::full_scale() for
     // the paper's cardinalities).
     let corpus_config = TextCorpusConfig {
@@ -31,8 +31,6 @@ fn main() -> IrResult<()> {
         stats.cardinality, stats.avg_nnz_per_tuple
     );
 
-    let index = TopKIndex::build_in_memory(&corpus)?;
-
     // A "web search"-style query: four popularity-biased terms, top-10.
     let workload_config = WorkloadConfig {
         qlen: 4,
@@ -50,8 +48,13 @@ fn main() -> IrResult<()> {
         println!("  term {:>6}  weight {:.3}", dim.0, weight);
     }
 
-    let mut computation =
-        RegionComputation::new(&index, &query, RegionConfig::with_phi(Algorithm::Cpt, 2))?;
+    // The engine owns the index built over the corpus; φ = 2 reports the
+    // two subsequent regions on each side of every term weight.
+    let engine = IrEngine::builder()
+        .dataset(corpus)
+        .config(RegionConfig::with_phi(Algorithm::Cpt, 2))
+        .build()?;
+    let mut computation = engine.computation(&query)?;
     let report = computation.compute()?;
 
     println!("\ntop-10 documents: {:?}", computation.result().ids());

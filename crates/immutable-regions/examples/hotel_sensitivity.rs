@@ -27,13 +27,15 @@ const HOTELS: [(&str, [f64; 4]); 12] = [
     ("Station Hotel", [0.88, 0.66, 0.85, 0.60]),
 ];
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let mut builder = DatasetBuilder::new(CRITERIA.len() as u32);
     for (_, ratings) in HOTELS {
         builder.push(SparseVector::from_dense(&ratings)?)?;
     }
-    let dataset = builder.build();
-    let index = TopKIndex::build_in_memory(&dataset)?;
+    let engine = IrEngine::builder()
+        .dataset(builder.build())
+        .config(RegionConfig::flat(Algorithm::Cpt))
+        .build()?;
 
     // The user cares most about cleanliness, then price, then service.
     let query = QueryBuilder::new(5)
@@ -42,8 +44,7 @@ fn main() -> IrResult<()> {
         .weight(3, 0.4) // service
         .build()?;
 
-    let mut computation =
-        RegionComputation::new(&index, &query, RegionConfig::flat(Algorithm::Cpt))?;
+    let mut computation = engine.computation(&query)?;
     let report = computation.compute()?;
 
     println!("top-5 hotels for weights (price 0.6, cleanliness 0.9, service 0.4):");

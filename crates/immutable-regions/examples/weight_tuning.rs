@@ -8,6 +8,11 @@
 //! correlated data thresholding does — and CPT wins on both, which is the
 //! paper's headline claim.
 //!
+//! This is the retained *low-level* example: it drives the borrow-based
+//! [`RegionComputation`] API directly (per-query cold starts, explicit
+//! index lifetime) for library users who manage storage themselves. The
+//! other examples go through the owned [`IrEngine`] façade.
+//!
 //! Run with: `cargo run --release --example weight_tuning`
 
 use immutable_regions::prelude::*;
@@ -65,7 +70,7 @@ fn main() -> IrResult<()> {
             let n = workload.len() as f64;
             println!(
                 "{:<8} {:>22.1} {:>18.0} {:>14.2}",
-                algorithm.name(),
+                algorithm,
                 evaluated / n,
                 reads as f64 / n,
                 cpu_ms / n

@@ -1,0 +1,776 @@
+//! [`IrEngine`]: an owned, service-grade façade over the whole stack.
+//!
+//! The paper's workload is service-shaped: a *subscribed* top-k query whose
+//! immutable regions are recomputed as the preference weights drift. The
+//! low-level API ([`RegionComputation`]) is borrow-bound — every caller must
+//! hand-assemble dataset → index → pool → config and thread lifetimes
+//! through its code. The engine replaces that with one owned object that
+//! holds the warm state (index + buffer pool behind [`Arc`]) and serves
+//! queries; handles are `Send + Sync + Clone` with no caller-visible
+//! lifetimes.
+//!
+//! Three call styles are surfaced:
+//!
+//! * [`IrEngine::query`] — one query, one [`RegionReport`] (bit-identical to
+//!   the low-level sequential path),
+//! * [`IrEngine::query_batch`] — many queries fanned out over the engine's
+//!   worker pool sharing the warm buffer pool
+//!   ([`BatchRegionComputation`] underneath; reports are identical for
+//!   every worker count),
+//! * [`IrEngine::subscribe`] — the paper's subscribed-query loop as a
+//!   first-class API: a [`Subscription`] caches the last report, answers
+//!   [`Subscription::is_immutable_under`] locally, and recomputes only when
+//!   the weights actually leave the reported region.
+//!
+//! ```
+//! use immutable_regions::prelude::*;
+//!
+//! let engine = IrEngine::builder()
+//!     .dataset(Dataset::running_example())
+//!     .build()?;
+//! let report = engine.query(&QueryVector::running_example())?;
+//! let dim0 = report.for_dim(DimId(0)).unwrap();
+//! assert!((dim0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+//! # Ok::<(), immutable_regions::engine::EngineError>(())
+//! ```
+
+use ir_core::{
+    BatchOutcome, BatchRegionComputation, OwnedRegionComputation, RegionComputation, RegionConfig,
+    RegionReport,
+};
+use ir_storage::{IndexBuilder, IoConfig, StorageBackend, TopKIndex};
+use ir_topk::TaConfig;
+use ir_types::{Dataset, DimId, IrError, QueryVector, TopKResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// The unified error type of the engine layer.
+///
+/// The recoverable conditions a serving layer must distinguish get their own
+/// typed variants (so callers can, e.g., reject a request instead of
+/// retrying it); everything else is carried through as [`EngineError::Core`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The engine was built over a dataset (or prebuilt index) with no
+    /// tuples — no query can be answered.
+    EmptyDataset,
+    /// A query requested more result tuples than the dataset holds.
+    KTooLarge {
+        /// Requested result size.
+        k: usize,
+        /// Number of indexed tuples.
+        cardinality: usize,
+    },
+    /// A query weighted a dimension the index does not know about.
+    DimensionNotIndexed {
+        /// The offending dimension index.
+        dim: u32,
+        /// Dimensionality of the indexed dataset.
+        dimensionality: u32,
+    },
+    /// A query had no strictly positive weight (all weights zero or absent).
+    ZeroWeightQuery,
+    /// [`IrEngineBuilder::build`] was called without a dataset or index.
+    NoSource,
+    /// An engine policy could not be loaded or was inconsistent.
+    Policy(String),
+    /// Any other error from the underlying stack (storage, TA, solvers).
+    Core(IrError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyDataset => write!(f, "engine has no tuples to query"),
+            EngineError::KTooLarge { k, cardinality } => write!(
+                f,
+                "k = {k} exceeds the {cardinality} tuples the engine indexes"
+            ),
+            EngineError::DimensionNotIndexed {
+                dim,
+                dimensionality,
+            } => write!(
+                f,
+                "query dimension {dim} is not indexed (dataset has {dimensionality} dimensions)"
+            ),
+            EngineError::ZeroWeightQuery => {
+                write!(f, "query has no dimension with a positive weight")
+            }
+            EngineError::NoSource => {
+                write!(f, "engine builder needs a dataset or a prebuilt index")
+            }
+            EngineError::Policy(msg) => write!(f, "invalid engine policy: {msg}"),
+            EngineError::Core(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for EngineError {
+    fn from(err: IrError) -> Self {
+        match err {
+            IrError::InvalidK { k, cardinality } => EngineError::KTooLarge { k, cardinality },
+            IrError::UnknownDimension {
+                dim,
+                dimensionality,
+            } => EngineError::DimensionNotIndexed {
+                dim,
+                dimensionality,
+            },
+            IrError::EmptyQuery => EngineError::ZeroWeightQuery,
+            other => EngineError::Core(other),
+        }
+    }
+}
+
+/// The serializable part of an engine's configuration: the default region
+/// policy plus the worker count. Loadable from a JSON file
+/// ([`EnginePolicy::from_json_file`]) and dumped into `BENCH_*.json`
+/// metadata by the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnginePolicy {
+    /// Default region configuration (algorithm, φ, perturbation mode).
+    pub config: RegionConfig,
+    /// Worker count for batch execution (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EnginePolicy {
+    fn default() -> Self {
+        EnginePolicy {
+            config: RegionConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl EnginePolicy {
+    /// Parses a policy from its JSON representation.
+    pub fn from_json(json: &str) -> EngineResult<Self> {
+        serde_json::from_str(json).map_err(|e| EngineError::Policy(e.to_string()))
+    }
+
+    /// Reads a policy from a JSON file.
+    pub fn from_json_file(path: impl AsRef<Path>) -> EngineResult<Self> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| EngineError::Policy(format!("{}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+
+    /// Renders the policy as JSON (the format [`EnginePolicy::from_json`]
+    /// reads back).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("policy serializes infallibly")
+    }
+}
+
+/// What the engine is built from.
+enum EngineSource<'d> {
+    /// Build a fresh index over this owned dataset.
+    Dataset(Dataset),
+    /// Build a fresh index over a borrowed dataset (no clone; the borrow
+    /// ends at [`IrEngineBuilder::build`] — the engine never keeps it).
+    DatasetRef(&'d Dataset),
+    /// Adopt a prebuilt index.
+    Index(Arc<TopKIndex>),
+}
+
+/// Builder for [`IrEngine`]: pick a data source, a storage backend, a
+/// buffer-pool budget, a worker count and a default region policy.
+///
+/// The lifetime parameter only exists for [`IrEngineBuilder::dataset_ref`]
+/// (borrowing a dataset during the build); the built [`IrEngine`] is always
+/// `'static`.
+#[must_use = "an engine builder does nothing until `build` is called"]
+pub struct IrEngineBuilder<'d> {
+    source: Option<EngineSource<'d>>,
+    backend: StorageBackend,
+    pool_capacity: Option<usize>,
+    io_config: Option<IoConfig>,
+    storage_knobs_set: bool,
+    config: RegionConfig,
+    ta_config: TaConfig,
+    threads: usize,
+}
+
+impl Default for IrEngineBuilder<'_> {
+    fn default() -> Self {
+        IrEngineBuilder {
+            source: None,
+            backend: StorageBackend::Memory,
+            pool_capacity: None,
+            io_config: None,
+            storage_knobs_set: false,
+            config: RegionConfig::default(),
+            ta_config: TaConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl<'d> IrEngineBuilder<'d> {
+    /// Serves queries over `dataset`; the index is built by
+    /// [`IrEngineBuilder::build`] with the selected storage options.
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.source = Some(EngineSource::Dataset(dataset));
+        self
+    }
+
+    /// Like [`IrEngineBuilder::dataset`], but borrowing: the dataset is only
+    /// read while [`IrEngineBuilder::build`] constructs the index, so
+    /// callers that keep (or repeatedly reuse) a dataset — e.g. sweeping
+    /// storage configurations over one corpus — avoid cloning it.
+    pub fn dataset_ref(mut self, dataset: &'d Dataset) -> Self {
+        self.source = Some(EngineSource::DatasetRef(dataset));
+        self
+    }
+
+    /// Adopts a prebuilt index (taking ownership). Storage options must not
+    /// be combined with this source — the index already made those choices.
+    pub fn index(mut self, index: TopKIndex) -> Self {
+        self.source = Some(EngineSource::Index(Arc::new(index)));
+        self
+    }
+
+    /// Adopts an already shared index handle (see
+    /// [`IndexBuilder::build_shared`](ir_storage::IndexBuilder::build_shared)).
+    pub fn shared_index(mut self, index: Arc<TopKIndex>) -> Self {
+        self.source = Some(EngineSource::Index(index));
+        self
+    }
+
+    /// Selects the storage backend for the index built from a dataset
+    /// (default: memory).
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self.storage_knobs_set = true;
+        self
+    }
+
+    /// Shorthand for a disk-backed page store under `dir`.
+    pub fn on_disk(self, dir: impl Into<PathBuf>) -> Self {
+        self.backend(StorageBackend::Disk(dir.into()))
+    }
+
+    /// Sets the buffer-pool budget in pages for the index built from a
+    /// dataset.
+    pub fn pool_capacity(mut self, pages: usize) -> Self {
+        self.pool_capacity = Some(pages);
+        self.storage_knobs_set = true;
+        self
+    }
+
+    /// Sets the simulated I/O latency model for the index built from a
+    /// dataset.
+    pub fn io_config(mut self, io_config: IoConfig) -> Self {
+        self.io_config = Some(io_config);
+        self.storage_knobs_set = true;
+        self
+    }
+
+    /// Sets the default region configuration queries run with (overridable
+    /// per call via [`IrEngine::query_with`]).
+    pub fn config(mut self, config: RegionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the TA configuration used for the top-k phase of every query.
+    pub fn ta_config(mut self, ta_config: TaConfig) -> Self {
+        self.ta_config = ta_config;
+        self
+    }
+
+    /// Sets the worker count for [`IrEngine::query_batch`] (clamped to at
+    /// least 1). Regions and deterministic counters are identical for every
+    /// value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Applies a whole [`EnginePolicy`] (default config + worker count).
+    pub fn policy(self, policy: EnginePolicy) -> Self {
+        self.config(policy.config).threads(policy.threads)
+    }
+
+    /// Loads the engine policy from a JSON file (see
+    /// [`EnginePolicy::from_json_file`]).
+    pub fn policy_from_json_file(self, path: impl AsRef<Path>) -> EngineResult<Self> {
+        Ok(self.policy(EnginePolicy::from_json_file(path)?))
+    }
+
+    /// Builds the engine: constructs the index if a dataset was given, then
+    /// wraps everything into an owned, shareable handle.
+    pub fn build(self) -> EngineResult<IrEngine> {
+        let IrEngineBuilder {
+            source,
+            backend,
+            pool_capacity,
+            io_config,
+            storage_knobs_set,
+            config,
+            ta_config,
+            threads,
+        } = self;
+        let build_index = move |dataset: &Dataset| -> EngineResult<Arc<TopKIndex>> {
+            if dataset.cardinality() == 0 {
+                return Err(EngineError::EmptyDataset);
+            }
+            let mut builder = IndexBuilder::new().backend(backend);
+            if let Some(pages) = pool_capacity {
+                builder = builder.pool_capacity(pages);
+            }
+            if let Some(io_config) = io_config {
+                builder = builder.io_config(io_config);
+            }
+            Ok(builder.build_shared(dataset)?)
+        };
+        let index = match source {
+            None => return Err(EngineError::NoSource),
+            Some(EngineSource::Dataset(dataset)) => build_index(&dataset)?,
+            Some(EngineSource::DatasetRef(dataset)) => build_index(dataset)?,
+            Some(EngineSource::Index(index)) => {
+                if storage_knobs_set {
+                    return Err(EngineError::Policy(
+                        "storage options (backend, pool capacity, I/O model) apply to an index \
+                         built from a dataset; a prebuilt index already made those choices"
+                            .to_string(),
+                    ));
+                }
+                if index.cardinality() == 0 {
+                    return Err(EngineError::EmptyDataset);
+                }
+                index
+            }
+        };
+        Ok(IrEngine {
+            index,
+            config,
+            ta_config,
+            threads,
+        })
+    }
+}
+
+/// An owned immutable-regions engine: the single front door for serving
+/// region computations.
+///
+/// The engine holds the [`TopKIndex`] (inverted lists, tuple file, buffer
+/// pool) behind [`Arc`], so clones are cheap handles onto the same warm
+/// state and the type is `Send + Sync + Clone` with no lifetimes. See the
+/// [module docs](self) for the three call styles.
+#[derive(Clone)]
+pub struct IrEngine {
+    index: Arc<TopKIndex>,
+    config: RegionConfig,
+    ta_config: TaConfig,
+    threads: usize,
+}
+
+impl fmt::Debug for IrEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IrEngine")
+            .field("cardinality", &self.index.cardinality())
+            .field("dimensionality", &self.index.dimensionality())
+            .field("config", &self.config)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl IrEngine {
+    /// Starts building an engine.
+    pub fn builder<'d>() -> IrEngineBuilder<'d> {
+        IrEngineBuilder::default()
+    }
+
+    /// The shared index the engine serves from (for storage-level control:
+    /// cache warm-up, I/O accounting, direct cursor access).
+    pub fn index(&self) -> &Arc<TopKIndex> {
+        &self.index
+    }
+
+    /// The default region configuration.
+    pub fn config(&self) -> RegionConfig {
+        self.config
+    }
+
+    /// The worker count used by [`IrEngine::query_batch`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's serializable policy (default config + worker count).
+    pub fn policy(&self) -> EnginePolicy {
+        EnginePolicy {
+            config: self.config,
+            threads: self.threads,
+        }
+    }
+
+    /// A handle onto the same warm state with a different default region
+    /// configuration.
+    pub fn with_config(&self, config: RegionConfig) -> IrEngine {
+        IrEngine {
+            config,
+            ..self.clone()
+        }
+    }
+
+    /// A handle onto the same warm state with a different worker count
+    /// (clamped to at least 1).
+    pub fn with_threads(&self, threads: usize) -> IrEngine {
+        IrEngine {
+            threads: threads.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Clears the buffer-pool cache and I/O counters — a fully cold start
+    /// (what the experiment harness does between measured queries).
+    pub fn cold_start(&self) {
+        self.index.cold_start();
+    }
+
+    /// Validates a query against the engine's index without running it,
+    /// returning the typed error a malformed request deserves.
+    pub fn validate(&self, query: &QueryVector) -> EngineResult<()> {
+        query.validate_against(self.index.dimensionality())?;
+        if query.k() > self.index.cardinality() {
+            return Err(EngineError::KTooLarge {
+                k: query.k(),
+                cardinality: self.index.cardinality(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Prepares a full computation handle for one query: runs the top-k
+    /// phase and returns the lifetime-free [`OwnedRegionComputation`], for
+    /// callers that need the TA internals or per-dimension parallel solves
+    /// in addition to the report.
+    pub fn computation(&self, query: &QueryVector) -> EngineResult<OwnedRegionComputation> {
+        self.computation_with(query, self.config)
+    }
+
+    /// [`IrEngine::computation`] with an explicit region configuration.
+    pub fn computation_with(
+        &self,
+        query: &QueryVector,
+        config: RegionConfig,
+    ) -> EngineResult<OwnedRegionComputation> {
+        self.validate(query)?;
+        Ok(RegionComputation::with_ta_config_shared(
+            Arc::clone(&self.index),
+            query,
+            config,
+            &self.ta_config,
+        )?)
+    }
+
+    /// Computes the immutable regions of one query with the engine's
+    /// default configuration. The report is bit-identical to the low-level
+    /// sequential path ([`RegionComputation::compute`]).
+    pub fn query(&self, query: &QueryVector) -> EngineResult<RegionReport> {
+        self.query_with(query, self.config)
+    }
+
+    /// [`IrEngine::query`] with an explicit region configuration.
+    pub fn query_with(
+        &self,
+        query: &QueryVector,
+        config: RegionConfig,
+    ) -> EngineResult<RegionReport> {
+        let mut computation = self.computation_with(query, config)?;
+        Ok(computation.compute()?)
+    }
+
+    /// Convenience: builds the query from `(dimension, weight)` pairs and
+    /// computes its regions. Malformed weight sets surface as typed errors
+    /// ([`EngineError::ZeroWeightQuery`] when no positive weight remains).
+    pub fn query_pairs(
+        &self,
+        pairs: impl IntoIterator<Item = (u32, f64)>,
+        k: usize,
+    ) -> EngineResult<RegionReport> {
+        let query = QueryVector::new(pairs, k)?;
+        self.query(&query)
+    }
+
+    /// Runs a batch of queries over the engine's worker pool, sharing the
+    /// warm buffer pool. Reports come back in query order and are identical
+    /// to running each query sequentially, for every worker count.
+    pub fn query_batch(&self, queries: &[QueryVector]) -> EngineResult<Vec<RegionReport>> {
+        self.query_batch_detailed(queries)
+            .map(|outcome| outcome.reports)
+    }
+
+    /// [`IrEngine::query_batch`], also returning per-worker I/O tallies and
+    /// the batch wall-clock time.
+    pub fn query_batch_detailed(&self, queries: &[QueryVector]) -> EngineResult<BatchOutcome> {
+        for query in queries {
+            self.validate(query)?;
+        }
+        let batch = BatchRegionComputation::new_shared(Arc::clone(&self.index), self.config)
+            .with_threads(self.threads)
+            .with_ta_config(self.ta_config);
+        Ok(batch.run_detailed(queries)?)
+    }
+
+    /// Subscribes a query: computes its result and regions once and returns
+    /// a [`Subscription`] that answers weight-drift questions from the
+    /// cached report, recomputing only on region exit.
+    pub fn subscribe(&self, query: QueryVector) -> EngineResult<Subscription> {
+        let mut computation = self.computation(&query)?;
+        let report = computation.compute()?;
+        Ok(Subscription {
+            engine: self.clone(),
+            query,
+            result: computation.result(),
+            report,
+            refreshes: 0,
+            cache_hits: 0,
+        })
+    }
+}
+
+/// A subscribed query (the paper's interactive weight-tuning loop): holds
+/// the last computed [`RegionReport`] and the engine handle needed to
+/// refresh it.
+///
+/// The subscription answers [`Subscription::is_immutable_under`] purely
+/// from the cached regions — no I/O, no recomputation — and
+/// [`Subscription::update`] recomputes only when the drifted weights
+/// actually leave the reported immutable region.
+pub struct Subscription {
+    engine: IrEngine,
+    query: QueryVector,
+    result: TopKResult,
+    report: RegionReport,
+    refreshes: u64,
+    cache_hits: u64,
+}
+
+impl fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("query", &self.query)
+            .field("result", &self.result.ids())
+            .field("refreshes", &self.refreshes)
+            .field("cache_hits", &self.cache_hits)
+            .finish()
+    }
+}
+
+impl Subscription {
+    /// The currently subscribed query (the anchor the cached regions are
+    /// relative to).
+    pub fn query(&self) -> &QueryVector {
+        &self.query
+    }
+
+    /// The cached top-k result of the subscribed query.
+    pub fn result(&self) -> &TopKResult {
+        &self.result
+    }
+
+    /// The cached region report of the subscribed query.
+    pub fn report(&self) -> &RegionReport {
+        &self.report
+    }
+
+    /// How many times [`Subscription::update`] recomputed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// How many times [`Subscription::update`] was served from the cached
+    /// regions.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Decides — locally, from the cached report — whether the result is
+    /// guaranteed unchanged under `new_weights`.
+    ///
+    /// `true` requires that `new_weights` deviates from the subscribed
+    /// query in **at most one** dimension (the paper's model: one slider
+    /// moves while the others stay), with that deviation strictly inside
+    /// the dimension's immutable region. Everything else — a changed `k`,
+    /// several deviating weights, a new query dimension, a deviation at or
+    /// past a region boundary — returns `false`, which is the conservative
+    /// answer: the caller recomputes and never serves a stale result.
+    pub fn is_immutable_under(&self, new_weights: &QueryVector) -> bool {
+        if new_weights.k() != self.query.k() {
+            return false;
+        }
+        let mut dims = self.query.dim_ids();
+        for (dim, _) in new_weights.dims() {
+            if !dims.contains(&dim) {
+                dims.push(dim);
+            }
+        }
+        let mut deviation: Option<(DimId, f64)> = None;
+        for dim in dims {
+            let delta = new_weights.weight(dim) - self.query.weight(dim);
+            if delta != 0.0 {
+                if deviation.is_some() {
+                    return false;
+                }
+                deviation = Some((dim, delta));
+            }
+        }
+        match deviation {
+            None => true,
+            Some((dim, delta)) => match self.report.for_dim(dim) {
+                // Strict interior: at the boundary itself the perturbation
+                // occurs, so boundary hits count as exits.
+                Some(regions) => regions.immutable.lo < delta && delta < regions.immutable.hi,
+                None => false,
+            },
+        }
+    }
+
+    /// Drives the subscription to `new_weights`: a no-op returning
+    /// `Ok(false)` while the weights stay inside the reported region, a
+    /// recompute (re-anchoring the subscription at `new_weights`) returning
+    /// `Ok(true)` once they leave it.
+    pub fn update(&mut self, new_weights: &QueryVector) -> EngineResult<bool> {
+        if self.is_immutable_under(new_weights) {
+            self.cache_hits += 1;
+            return Ok(false);
+        }
+        let mut computation = self.engine.computation(new_weights)?;
+        self.report = computation.compute()?;
+        self.result = computation.result();
+        self.query = new_weights.clone();
+        self.refreshes += 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::TupleId;
+
+    fn engine() -> IrEngine {
+        IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_handles_are_send_sync_clone() {
+        fn assert_handle<T: Send + Sync + Clone + 'static>() {}
+        assert_handle::<IrEngine>();
+    }
+
+    #[test]
+    fn query_matches_running_example() {
+        let report = engine().query(&QueryVector::running_example()).unwrap();
+        let d0 = report.for_dim(DimId(0)).unwrap();
+        assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+        assert!((d0.immutable.hi - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subscription_serves_drift_inside_region_from_cache() {
+        let engine = engine();
+        let query = QueryVector::running_example();
+        let mut subscription = engine.subscribe(query.clone()).unwrap();
+        assert_eq!(
+            subscription.result().ids(),
+            vec![TupleId(1), TupleId(0)],
+            "running example top-2"
+        );
+
+        // Inside IR_1 = (-16/35, 0.1): cache hit, no recompute.
+        let inside = query.with_weight_shift(DimId(0), 0.05).unwrap();
+        assert!(subscription.is_immutable_under(&inside));
+        assert!(!subscription.update(&inside).unwrap());
+        assert_eq!(subscription.cache_hits(), 1);
+        assert_eq!(subscription.refreshes(), 0);
+
+        // Past the upper boundary at +0.1: recompute and re-anchor.
+        let outside = query.with_weight_shift(DimId(0), 0.15).unwrap();
+        assert!(!subscription.is_immutable_under(&outside));
+        assert!(subscription.update(&outside).unwrap());
+        assert_eq!(subscription.refreshes(), 1);
+        assert_eq!(
+            subscription.result().ids(),
+            vec![TupleId(0), TupleId(1)],
+            "crossing +0.1 swaps d1 and d2"
+        );
+        assert!((subscription.query().weight(DimId(0)) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dimension_drift_is_conservative() {
+        let engine = engine();
+        let query = QueryVector::running_example();
+        let subscription = engine.subscribe(query.clone()).unwrap();
+        // Both weights move a hair — per-dimension regions don't compose,
+        // so the subscription must not claim immutability.
+        let both = QueryVector::new([(0, 0.81), (1, 0.51)], 2).unwrap();
+        assert!(!subscription.is_immutable_under(&both));
+        // A changed k is never immutable either.
+        let other_k = query.with_k(1).unwrap();
+        assert!(!subscription.is_immutable_under(&other_k));
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let policy = EnginePolicy {
+            config: RegionConfig::with_phi(ir_core::Algorithm::Prune, 3).composition_only(),
+            threads: 4,
+        };
+        let json = policy.to_json();
+        assert_eq!(EnginePolicy::from_json(&json).unwrap(), policy);
+        assert!(matches!(
+            EnginePolicy::from_json("not json"),
+            Err(EngineError::Policy(_))
+        ));
+    }
+
+    #[test]
+    fn dataset_ref_borrows_instead_of_cloning() {
+        let dataset = Dataset::running_example();
+        let engine = IrEngine::builder()
+            .dataset_ref(&dataset)
+            .pool_capacity(8)
+            .build()
+            .unwrap();
+        assert_eq!(engine.index().cardinality(), dataset.cardinality());
+        let report = engine.query(&QueryVector::running_example()).unwrap();
+        assert!(report.for_dim(DimId(0)).is_some());
+    }
+
+    #[test]
+    fn builder_rejects_storage_knobs_on_prebuilt_index() {
+        let dataset = Dataset::running_example();
+        let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
+        let err = IrEngine::builder()
+            .index(index)
+            .pool_capacity(64)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Policy(_)), "{err}");
+    }
+}

@@ -10,46 +10,57 @@
 //! exact new result just past each boundary, and optionally the `φ`
 //! subsequent regions in each direction.
 //!
-//! This umbrella crate re-exports the whole stack:
+//! This umbrella crate re-exports the whole stack and adds the [`engine`]
+//! layer on top:
 //!
-//! | layer | crate | contents |
-//! |-------|-------|----------|
+//! | layer | crate / module | contents |
+//! |-------|----------------|----------|
 //! | data model | [`types`] | sparse tuples, datasets, queries, results |
 //! | storage | [`storage`] | paged inverted lists, tuple file, buffer pool, I/O accounting |
 //! | geometry | [`geometry`] | score-coordinate lines, lower envelopes, kinetic sweep |
 //! | top-k | [`topk`] | the resumable random-access Threshold Algorithm |
 //! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle, parallel driver |
 //! | workloads | [`datagen`] | WSJ-like, KB-like and ST dataset generators |
-//!
-//! For serving many queries at once, [`core::parallel::BatchRegionComputation`]
-//! fans a whole batch out over a worker pool sharing one warm buffer pool.
-//! The regions and deterministic counters (evaluated candidates, logical
-//! reads) are identical for every worker count; only wall-clock time and
-//! cache-dependent physical-read counts vary.
+//! | serving | [`engine`] | [`IrEngine`](engine::IrEngine): owned façade, batches, subscriptions |
 //!
 //! ## Quickstart
+//!
+//! [`engine::IrEngine`] is the front door: an owned, `Send + Sync + Clone`
+//! handle that holds the index and warm buffer pool and serves one-off
+//! queries, batches over a worker pool, and subscriptions that recompute
+//! only when drifting weights leave the reported region.
 //!
 //! ```
 //! use immutable_regions::prelude::*;
 //!
 //! // The two-dimensional running example of the paper (Figure 1).
-//! let dataset = Dataset::running_example();
-//! let index = TopKIndex::build_in_memory(&dataset)?;
+//! let engine = IrEngine::builder()
+//!     .dataset(Dataset::running_example())
+//!     .build()?;
 //! let query = QueryVector::running_example(); // q = <0.8, 0.5>, k = 2
-//!
-//! let mut computation = RegionComputation::new(&index, &query, RegionConfig::default())?;
-//! let report = computation.compute()?;
+//! let report = engine.query(&query)?;
 //!
 //! // Top-2 result is [d2, d1]; the immutable region of the first weight is
 //! // (-16/35, +0.1): within it the result cannot change.
 //! let dim0 = report.for_dim(DimId(0)).unwrap();
 //! assert!((dim0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
 //! assert!((dim0.immutable.hi - 0.1).abs() < 1e-9);
-//! # Ok::<(), immutable_regions::types::IrError>(())
+//!
+//! // The subscribed-query loop: drift inside the region is answered from
+//! // the cached report, drift outside triggers one recompute.
+//! let mut subscription = engine.subscribe(query.clone())?;
+//! let drifted = query.with_weight_shift(DimId(0), 0.05)?;
+//! assert!(subscription.is_immutable_under(&drifted));
+//! # Ok::<(), immutable_regions::engine::EngineError>(())
 //! ```
+//!
+//! The borrow-based low-level API ([`core::RegionComputation`]) remains
+//! available for callers that manage index lifetimes themselves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod engine;
 
 pub use ir_core as core;
 pub use ir_datagen as datagen;
@@ -60,10 +71,13 @@ pub use ir_types as types;
 
 /// Everything needed for typical use, importable with one `use`.
 pub mod prelude {
+    pub use crate::engine::{
+        EngineError, EnginePolicy, EngineResult, IrEngine, IrEngineBuilder, Subscription,
+    };
     pub use ir_core::{
         Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats, DimRegions,
-        ExhaustiveOracle, Perturbation, RegionBoundary, RegionComputation, RegionConfig,
-        RegionReport, WeightRegion,
+        ExhaustiveOracle, OwnedRegionComputation, Perturbation, RegionBoundary, RegionComputation,
+        RegionConfig, RegionReport, WeightRegion,
     };
     pub use ir_datagen::{
         CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,

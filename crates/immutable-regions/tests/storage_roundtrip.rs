@@ -72,7 +72,7 @@ fn small_buffer_pool_forces_physical_rereads() {
         index.cold_start();
         let mut rc =
             RegionComputation::new(index, &query, RegionConfig::flat(Algorithm::Scan)).unwrap();
-        rc.compute().unwrap();
+        let _ = rc.compute().unwrap();
     }
     let tight_phys = tight.io_snapshot().physical_reads;
     let roomy_phys = roomy.io_snapshot().physical_reads;

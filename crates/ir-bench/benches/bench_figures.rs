@@ -4,20 +4,23 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ir_bench::{BenchDataset, Scale};
-use ir_core::{Algorithm, RegionComputation, RegionConfig};
+use ir_core::{Algorithm, RegionConfig};
 
 fn bench_figure10_wsj_qlen(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let (engine, workload) = BenchDataset::Wsj
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure10_wsj_qlen4_k10");
     group.sample_size(10);
     for algorithm in Algorithm::ALL {
-        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(algorithm), |b| {
             b.iter(|| {
                 for query in workload.iter() {
-                    let mut rc =
-                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
-                            .unwrap();
-                    std::hint::black_box(rc.compute().unwrap());
+                    let _ = std::hint::black_box(
+                        engine
+                            .query_with(query, RegionConfig::flat(algorithm))
+                            .unwrap(),
+                    );
                 }
             })
         });
@@ -26,17 +29,20 @@ fn bench_figure10_wsj_qlen(c: &mut Criterion) {
 }
 
 fn bench_figure11_st_qlen(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::St.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let (engine, workload) = BenchDataset::St
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure11_st_qlen4_k10");
     group.sample_size(10);
     for algorithm in Algorithm::ALL {
-        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(algorithm), |b| {
             b.iter(|| {
                 for query in workload.iter() {
-                    let mut rc =
-                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
-                            .unwrap();
-                    std::hint::black_box(rc.compute().unwrap());
+                    let _ = std::hint::black_box(
+                        engine
+                            .query_with(query, RegionConfig::flat(algorithm))
+                            .unwrap(),
+                    );
                 }
             })
         });
@@ -45,17 +51,20 @@ fn bench_figure11_st_qlen(c: &mut Criterion) {
 }
 
 fn bench_figure12_kb_qlen(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::Kb.prepare(Scale::Smoke, 6, 10, 3).unwrap();
+    let (engine, workload) = BenchDataset::Kb
+        .prepare_engine(Scale::Smoke, 6, 10, 3, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure12_kb_qlen6_k10");
     group.sample_size(10);
     for algorithm in Algorithm::ALL {
-        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(algorithm), |b| {
             b.iter(|| {
                 for query in workload.iter() {
-                    let mut rc =
-                        RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
-                            .unwrap();
-                    std::hint::black_box(rc.compute().unwrap());
+                    let _ = std::hint::black_box(
+                        engine
+                            .query_with(query, RegionConfig::flat(algorithm))
+                            .unwrap(),
+                    );
                 }
             })
         });
@@ -67,15 +76,18 @@ fn bench_figure13_vary_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure13_wsj_vary_k");
     group.sample_size(10);
     for k in [10usize, 40] {
-        let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, k, 3).unwrap();
+        let (engine, workload) = BenchDataset::Wsj
+            .prepare_engine(Scale::Smoke, 4, k, 3, 1)
+            .unwrap();
         for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
-            group.bench_function(BenchmarkId::new(algorithm.name(), k), |b| {
+            group.bench_function(BenchmarkId::new(algorithm.to_string(), k), |b| {
                 b.iter(|| {
                     for query in workload.iter() {
-                        let mut rc =
-                            RegionComputation::new(&index, query, RegionConfig::flat(algorithm))
-                                .unwrap();
-                        std::hint::black_box(rc.compute().unwrap());
+                        let _ = std::hint::black_box(
+                            engine
+                                .query_with(query, RegionConfig::flat(algorithm))
+                                .unwrap(),
+                        );
                     }
                 })
             });
@@ -85,21 +97,21 @@ fn bench_figure13_vary_k(c: &mut Criterion) {
 }
 
 fn bench_figure14_vary_phi(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 2).unwrap();
+    let (engine, workload) = BenchDataset::Wsj
+        .prepare_engine(Scale::Smoke, 4, 10, 2, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure14_wsj_vary_phi");
     group.sample_size(10);
     for phi in [0usize, 5, 10] {
         for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
-            group.bench_function(BenchmarkId::new(algorithm.name(), phi), |b| {
+            group.bench_function(BenchmarkId::new(algorithm.to_string(), phi), |b| {
                 b.iter(|| {
                     for query in workload.iter() {
-                        let mut rc = RegionComputation::new(
-                            &index,
-                            query,
-                            RegionConfig::with_phi(algorithm, phi),
-                        )
-                        .unwrap();
-                        std::hint::black_box(rc.compute().unwrap());
+                        let _ = std::hint::black_box(
+                            engine
+                                .query_with(query, RegionConfig::with_phi(algorithm, phi))
+                                .unwrap(),
+                        );
                     }
                 })
             });
@@ -109,27 +121,27 @@ fn bench_figure14_vary_phi(c: &mut Criterion) {
 }
 
 fn bench_figure15_oneoff_vs_iterative(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 3, 10, 1).unwrap();
+    let (engine, workload) = BenchDataset::Wsj
+        .prepare_engine(Scale::Smoke, 3, 10, 1, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure15_oneoff_vs_iterative_phi3");
     group.sample_size(10);
     group.bench_function("CPT-one-off", |b| {
         b.iter(|| {
             for query in workload.iter() {
-                let mut rc = RegionComputation::new(
-                    &index,
-                    query,
-                    RegionConfig::with_phi(Algorithm::Cpt, 3),
-                )
-                .unwrap();
-                std::hint::black_box(rc.compute().unwrap());
+                let _ = std::hint::black_box(
+                    engine
+                        .query_with(query, RegionConfig::with_phi(Algorithm::Cpt, 3))
+                        .unwrap(),
+                );
             }
         })
     });
     group.bench_function("CPT-iterative", |b| {
         b.iter(|| {
             for query in workload.iter() {
-                std::hint::black_box(
-                    ir_core::iterative::compute_iterative(&index, query, Algorithm::Cpt, 3)
+                let _ = std::hint::black_box(
+                    ir_core::iterative::compute_iterative(engine.index(), query, Algorithm::Cpt, 3)
                         .unwrap(),
                 );
             }
@@ -139,20 +151,20 @@ fn bench_figure15_oneoff_vs_iterative(c: &mut Criterion) {
 }
 
 fn bench_figure16_composition_only(c: &mut Criterion) {
-    let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 4, 10, 3).unwrap();
+    let (engine, workload) = BenchDataset::Wsj
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .unwrap();
     let mut group = c.benchmark_group("figure16_wsj_composition_only");
     group.sample_size(10);
     for algorithm in Algorithm::ALL {
-        group.bench_function(BenchmarkId::from_parameter(algorithm.name()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(algorithm), |b| {
             b.iter(|| {
                 for query in workload.iter() {
-                    let mut rc = RegionComputation::new(
-                        &index,
-                        query,
-                        RegionConfig::flat(algorithm).composition_only(),
-                    )
-                    .unwrap();
-                    std::hint::black_box(rc.compute().unwrap());
+                    let _ = std::hint::black_box(
+                        engine
+                            .query_with(query, RegionConfig::flat(algorithm).composition_only())
+                            .unwrap(),
+                    );
                 }
             })
         });

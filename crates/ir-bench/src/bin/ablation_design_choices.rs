@@ -12,18 +12,19 @@
 //!
 //! Run with `cargo run --release -p ir-bench --bin ablation_design_choices`.
 
+use immutable_regions::engine::{EngineResult, IrEngine};
 use ir_bench::{BenchArgs, BenchDataset, Scale};
-use ir_core::{Algorithm, RegionComputation, RegionConfig, RegionReport};
-use ir_storage::{IndexBuilder, IoConfig};
+use ir_core::{Algorithm, RegionConfig, RegionReport};
+use ir_storage::IoConfig;
 use ir_topk::{ProbeStrategy, TaConfig, TaRun};
-use ir_types::IrResult;
+use ir_types::QueryVector;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
-    probe_strategy_ablation(scale)?;
+    probe_strategy_ablation(scale, args.threads)?;
     pool_size_ablation(scale, args.threads)?;
     phase2_pool_ablation(scale, args.threads)?;
     args.report_wall_clock(started);
@@ -36,16 +37,15 @@ fn main() -> IrResult<()> {
 /// its regions are checked against the sequential ones; it runs *after*
 /// measurement so the measured cache behaviour is untouched.
 fn measure_and_check(
-    index: &ir_storage::TopKIndex,
-    query: &ir_types::QueryVector,
+    engine: &IrEngine,
+    query: &QueryVector,
     config: RegionConfig,
-    threads: usize,
-) -> IrResult<RegionReport> {
-    let mut rc = RegionComputation::new(index, query, config)?;
-    let report = rc.compute()?;
-    if threads > 1 {
-        let check = RegionComputation::new(index, query, config)?;
-        let parallel = check.compute_parallel(threads)?;
+) -> EngineResult<RegionReport> {
+    let mut computation = engine.computation_with(query, config)?;
+    let report = computation.compute()?;
+    if engine.threads() > 1 {
+        let check = engine.computation_with(query, config)?;
+        let parallel = check.compute_parallel(engine.threads())?;
         assert_eq!(
             report.dims, parallel.dims,
             "parallel regions diverged from sequential"
@@ -54,14 +54,14 @@ fn measure_and_check(
     Ok(report)
 }
 
-fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
+fn probe_strategy_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
     println!("=== Ablation 1: TA probe strategy (k = 10, qlen = 4) ===");
     println!(
         "{:<10} {:<14} {:>16} {:>16} {:>12}",
         "dataset", "strategy", "sorted accesses", "random accesses", "|C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (index, workload) = dataset.prepare(scale, 4, 10, 5)?;
+        let (engine, workload) = dataset.prepare_engine(scale, 4, 10, 5, threads)?;
         for (name, strategy) in [
             ("round-robin", ProbeStrategy::RoundRobin),
             ("weighted-key", ProbeStrategy::WeightedKey),
@@ -71,7 +71,7 @@ fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
             let mut candidates = 0usize;
             for query in workload.iter() {
                 let run = TaRun::execute(
-                    &index,
+                    engine.index(),
                     query,
                     &TaConfig {
                         probe_strategy: strategy,
@@ -96,7 +96,7 @@ fn probe_strategy_ablation(scale: Scale) -> IrResult<()> {
     Ok(())
 }
 
-fn pool_size_ablation(scale: Scale, threads: usize) -> IrResult<()> {
+fn pool_size_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
     println!("=== Ablation 2: buffer-pool size (WSJ-like, k = 10, qlen = 4) ===");
     println!(
         "{:<12} {:<8} {:>16} {:>16} {:>14}",
@@ -108,27 +108,32 @@ fn pool_size_ablation(scale: Scale, threads: usize) -> IrResult<()> {
         workload
     };
     for pool_pages in [16usize, 128, 1024, 8192] {
-        let index = IndexBuilder::new()
+        // A fresh engine per pool budget: the pool size is a build-time
+        // storage choice, exactly what the engine builder exposes. The
+        // dataset is borrowed, not cloned — only the index is rebuilt.
+        let engine = IrEngine::builder()
+            .dataset_ref(&dataset)
             .pool_capacity(pool_pages)
             .io_config(IoConfig::default())
-            .build(&dataset)?;
+            .threads(threads)
+            .build()?;
         for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
             let mut logical = 0u64;
             let mut physical = 0u64;
             for query in workload.iter() {
-                index.cold_start();
-                let report =
-                    measure_and_check(&index, query, RegionConfig::flat(algorithm), threads)?;
+                engine.cold_start();
+                let report = measure_and_check(&engine, query, RegionConfig::flat(algorithm))?;
                 logical += report.stats.io.logical_reads;
                 physical += report.stats.io.physical_reads;
             }
             let n = workload.len() as f64;
             let io_ms =
-                index.io_config().page_read_latency.as_secs_f64() * 1e3 * physical as f64 / n;
+                engine.index().io_config().page_read_latency.as_secs_f64() * 1e3 * physical as f64
+                    / n;
             println!(
                 "{:<12} {:<8} {:>16.1} {:>16.1} {:>14.2}",
                 pool_pages,
-                algorithm.name(),
+                algorithm,
                 logical as f64 / n,
                 physical as f64 / n,
                 io_ms
@@ -139,20 +144,19 @@ fn pool_size_ablation(scale: Scale, threads: usize) -> IrResult<()> {
     Ok(())
 }
 
-fn phase2_pool_ablation(scale: Scale, threads: usize) -> IrResult<()> {
+fn phase2_pool_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
     println!("=== Ablation 3: evaluated candidates per technique (k = 10, qlen = 4) ===");
     println!(
         "{:<10} {:<8} {:>20} {:>16}",
         "dataset", "method", "evaluated cands/dim", "initial |C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (index, workload) = dataset.prepare(scale, 4, 10, 5)?;
+        let (engine, workload) = dataset.prepare_engine(scale, 4, 10, 5, threads)?;
         for algorithm in Algorithm::ALL {
             let mut evaluated = 0.0;
             let mut initial = 0usize;
             for query in workload.iter() {
-                let report =
-                    measure_and_check(&index, query, RegionConfig::flat(algorithm), threads)?;
+                let report = measure_and_check(&engine, query, RegionConfig::flat(algorithm))?;
                 evaluated += report.stats.evaluated_per_dim_avg();
                 initial += report.stats.initial_candidates;
             }
@@ -160,7 +164,7 @@ fn phase2_pool_ablation(scale: Scale, threads: usize) -> IrResult<()> {
             println!(
                 "{:<10} {:<8} {:>20.2} {:>16.1}",
                 dataset.name(),
-                algorithm.name(),
+                algorithm,
                 evaluated / n,
                 initial as f64 / n
             );

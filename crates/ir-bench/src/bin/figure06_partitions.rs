@@ -5,21 +5,18 @@
 //! score-vs-coordinate dump of result and candidate tuples (the scatter the
 //! paper plots).
 
+use immutable_regions::engine::{EngineResult, IrEngine};
 use ir_bench::{BenchArgs, BenchDataset, Scale};
 use ir_core::partition::Partition;
-use ir_core::{RegionComputation, RegionConfig};
 use ir_datagen::{QueryWorkload, WorkloadConfig};
-use ir_storage::TopKIndex;
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
     for dataset_kind in [BenchDataset::Wsj, BenchDataset::St] {
         let dataset = dataset_kind.generate(scale);
-        let index = TopKIndex::build_in_memory(&dataset)?;
         let workload = QueryWorkload::generate(
             &dataset,
             &WorkloadConfig {
@@ -40,8 +37,12 @@ fn main() -> IrResult<()> {
             },
             6,
         )?;
+        let engine = IrEngine::builder()
+            .dataset(dataset)
+            .threads(args.threads)
+            .build()?;
         let query = &workload.queries()[0];
-        let computation = RegionComputation::new(&index, query, RegionConfig::default())?;
+        let computation = engine.computation(query)?;
         let candidates = computation.ta().candidates().entries().to_vec();
         println!(
             "=== Figure 6 — {} (qlen=4, k=10, equal weights) ===",

@@ -4,14 +4,14 @@
 //! candidates per dimension, the I/O time, the CPU time and the memory
 //! footprint — the four panels of Figure 10.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
     measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -19,15 +19,15 @@ fn main() -> IrResult<()> {
     let mut table =
         ExperimentTable::new("Figure 10 — WSJ-like corpus, k = 10, varying qlen", "qlen");
     for qlen in [2usize, 4, 6, 8, 10] {
-        let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
+        let (engine, workload) =
+            BenchDataset::Wsj.prepare_engine(scale, qlen, 10, queries, args.threads)?;
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
-                &index,
+                &engine,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm),
                 qlen as f64,
-                args.threads,
             )?;
             table.push(row);
         }

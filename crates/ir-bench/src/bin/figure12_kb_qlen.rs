@@ -1,13 +1,13 @@
 //! Figure 12: KB image features, k = 10, varying qlen ∈ {2, 12, 24, 36, 48}.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
     measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -21,15 +21,15 @@ fn main() -> IrResult<()> {
         _ => &[2, 12, 24, 36, 48],
     };
     for &qlen in qlens {
-        let (index, workload) = BenchDataset::Kb.prepare(scale, qlen, 10, queries)?;
+        let (engine, workload) =
+            BenchDataset::Kb.prepare_engine(scale, qlen, 10, queries, args.threads)?;
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
-                &index,
+                &engine,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm),
                 qlen as f64,
-                args.threads,
             )?;
             table.push(row);
         }

@@ -1,13 +1,13 @@
 //! Figure 13: WSJ and ST, qlen = 4, varying k ∈ {10, 20, 40, 60, 80}.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
     measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -22,15 +22,14 @@ fn main() -> IrResult<()> {
             "k",
         );
         for &k in ks {
-            let (index, workload) = dataset.prepare(scale, 4, k, queries)?;
+            let (engine, workload) = dataset.prepare_engine(scale, 4, k, queries, args.threads)?;
             for algorithm in Algorithm::ALL {
                 let row = measure_method_threaded(
-                    &index,
+                    &engine,
                     &workload,
                     algorithm,
                     RegionConfig::flat(algorithm),
                     k as f64,
-                    args.threads,
                 )?;
                 table.push(row);
             }

@@ -1,13 +1,13 @@
 //! Figure 14: WSJ, k = 10, qlen = 4, varying φ ∈ {0, 10, 20, 30, 40}.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
     measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -16,7 +16,8 @@ fn main() -> IrResult<()> {
         Scale::Smoke => &[0, 5, 10],
         _ => &[0, 10, 20, 30, 40],
     };
-    let (index, workload) = BenchDataset::Wsj.prepare(scale, 4, 10, queries)?;
+    let (engine, workload) =
+        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads)?;
     let mut table = ExperimentTable::new(
         "Figure 14 — WSJ-like corpus, k = 10, qlen = 4, varying φ (one-off)",
         "phi",
@@ -24,12 +25,11 @@ fn main() -> IrResult<()> {
     for &phi in phis {
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
-                &index,
+                &engine,
                 &workload,
                 algorithm,
                 RegionConfig::with_phi(algorithm, phi),
                 phi as f64,
-                args.threads,
             )?;
             table.push(row);
         }

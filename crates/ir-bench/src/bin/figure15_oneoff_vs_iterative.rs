@@ -1,15 +1,15 @@
 //! Figure 15: one-off φ > 0 computation versus iterative re-evaluation of
 //! single-region requests, for Prune and CPT.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
-    measure_iterative_threaded, measure_method_threaded, print_table, BenchArgs, BenchDataset,
+    measure_iterative, measure_method_threaded, print_table, BenchArgs, BenchDataset,
     ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -18,7 +18,8 @@ fn main() -> IrResult<()> {
         Scale::Smoke => &[1, 3, 5],
         _ => &[1, 5, 10, 20, 40],
     };
-    let (index, workload) = BenchDataset::Wsj.prepare(scale, 4, 10, queries)?;
+    let (engine, workload) =
+        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads)?;
     let mut table = ExperimentTable::new(
         "Figure 15 — one-off vs iterative processing, WSJ-like, k = 10, qlen = 4",
         "phi",
@@ -26,20 +27,14 @@ fn main() -> IrResult<()> {
     for &phi in phis {
         for algorithm in [Algorithm::Prune, Algorithm::Cpt] {
             table.push(measure_method_threaded(
-                &index,
+                &engine,
                 &workload,
                 algorithm,
                 RegionConfig::with_phi(algorithm, phi),
                 phi as f64,
-                args.threads,
             )?);
-            table.push(measure_iterative_threaded(
-                &index,
-                &workload,
-                algorithm,
-                phi,
-                phi as f64,
-                args.threads,
+            table.push(measure_iterative(
+                &engine, &workload, algorithm, phi, phi as f64,
             )?);
         }
     }

@@ -2,14 +2,14 @@
 //! varying qlen — only changes of the result composition count as
 //! perturbations.
 
+use immutable_regions::engine::EngineResult;
 use ir_bench::{
     measure_method_threaded, print_table, BenchArgs, BenchDataset, ExperimentTable, Scale,
 };
 use ir_core::{Algorithm, RegionConfig};
-use ir_types::IrResult;
 use std::time::Instant;
 
-fn main() -> IrResult<()> {
+fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
@@ -19,21 +19,25 @@ fn main() -> IrResult<()> {
         "qlen",
     );
     for qlen in [2usize, 4, 6, 8, 10] {
-        let (index, workload) = BenchDataset::Wsj.prepare(scale, qlen, 10, queries)?;
+        let (engine, workload) =
+            BenchDataset::Wsj.prepare_engine(scale, qlen, 10, queries, args.threads)?;
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
-                &index,
+                &engine,
                 &workload,
                 algorithm,
                 RegionConfig::flat(algorithm).composition_only(),
                 qlen as f64,
-                args.threads,
             )?;
             table.push(row);
         }
     }
     print_table(&table);
-    args.emit("figure16_composition_only", &table)?;
+    args.emit_with(
+        "figure16_composition_only",
+        &table,
+        RegionConfig::default().composition_only(),
+    )?;
     args.report_wall_clock(started);
     Ok(())
 }

@@ -17,6 +17,8 @@
 
 use crate::emit::{table_to_series, write_figure};
 use crate::runner::ExperimentTable;
+use immutable_regions::engine::EnginePolicy;
+use ir_core::RegionConfig;
 use ir_types::{IrError, IrResult};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -86,13 +88,40 @@ impl BenchArgs {
         BenchArgs { threads, emit_dir }
     }
 
-    /// Writes `table` as `BENCH_<figure>.json` into the emission directory;
-    /// a no-op when `--emit-json` was not given.
+    /// The engine-policy template stamped into emitted `BENCH_<figure>.json`
+    /// files: `config` is the figure's serving template (see
+    /// [`BenchArgs::emit_with`]; the per-series algorithm and the figure's
+    /// x-axis parameter override it row by row) and `threads` is the parsed
+    /// worker count.
+    pub fn policy_with(&self, config: RegionConfig) -> EnginePolicy {
+        EnginePolicy {
+            config,
+            threads: self.threads,
+        }
+    }
+
+    /// [`BenchArgs::emit_with`] with the default region configuration as the
+    /// figure's template.
     pub fn emit(&self, figure: &str, table: &ExperimentTable) -> IrResult<()> {
+        self.emit_with(figure, table, RegionConfig::default())
+    }
+
+    /// Writes `table` as `BENCH_<figure>.json` into the emission directory
+    /// (a no-op when `--emit-json` was not given), stamping the policy
+    /// metadata with `config` — the figure's serving template. Pass the
+    /// settings every row shares (e.g. composition-only mode for Figure
+    /// 16); the per-series algorithm and the swept x-axis parameter are
+    /// recorded in the series themselves.
+    pub fn emit_with(
+        &self,
+        figure: &str,
+        table: &ExperimentTable,
+        config: RegionConfig,
+    ) -> IrResult<()> {
         let Some(dir) = &self.emit_dir else {
             return Ok(());
         };
-        let series = table_to_series(figure, table);
+        let series = table_to_series(figure, table, self.policy_with(config));
         let path = write_figure(dir, &series)
             .map_err(|e| IrError::Storage(format!("emitting {figure}: {e}")))?;
         eprintln!("emitted {}", path.display());

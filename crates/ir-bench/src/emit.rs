@@ -11,6 +11,7 @@
 
 use crate::metrics::{MethodMeasurement, MethodSeries};
 use crate::runner::ExperimentTable;
+use immutable_regions::engine::EnginePolicy;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -21,13 +22,25 @@ pub struct FigureSeries {
     pub figure: String,
     /// Label of the x-axis (`qlen`, `k`, `phi`).
     pub x_label: String,
+    /// The engine-policy template the runner served the workload with:
+    /// the settings shared by every row (perturbation mode, the fixed φ if
+    /// any) plus the worker count. The per-series algorithm and the swept
+    /// x-axis parameter (`x_label`) override it row by row. Metadata only —
+    /// never compared by [`compare_figures`]: the deterministic series are
+    /// worker-count invariant by construction.
+    pub policy: EnginePolicy,
     /// One series per method, in first-appearance order.
     pub series: Vec<MethodSeries>,
 }
 
 /// Groups a printed table into per-method series (points kept in x order of
-/// appearance, methods in first-appearance order).
-pub fn table_to_series(figure: &str, table: &ExperimentTable) -> FigureSeries {
+/// appearance, methods in first-appearance order), stamped with the engine
+/// policy that produced it.
+pub fn table_to_series(
+    figure: &str,
+    table: &ExperimentTable,
+    policy: EnginePolicy,
+) -> FigureSeries {
     let mut series: Vec<MethodSeries> = Vec::new();
     for row in &table.rows {
         match series.iter_mut().find(|s| s.algorithm == row.algorithm) {
@@ -41,6 +54,7 @@ pub fn table_to_series(figure: &str, table: &ExperimentTable) -> FigureSeries {
     FigureSeries {
         figure: figure.to_string(),
         x_label: table.x_label.clone(),
+        policy,
         series,
     }
 }
@@ -214,7 +228,7 @@ mod tests {
 
     #[test]
     fn series_roundtrip_through_json() {
-        let series = table_to_series("figureT", &sample_table());
+        let series = table_to_series("figureT", &sample_table(), EnginePolicy::default());
         assert_eq!(series.series.len(), 2);
         assert_eq!(series.series[0].algorithm, "Scan");
         assert_eq!(series.series[0].points.len(), 2);
@@ -226,7 +240,7 @@ mod tests {
     #[test]
     fn write_and_read_figure_file() {
         let dir = tempfile::tempdir().unwrap();
-        let series = table_to_series("figureT", &sample_table());
+        let series = table_to_series("figureT", &sample_table(), EnginePolicy::default());
         let path = write_figure(dir.path(), &series).unwrap();
         assert!(path.ends_with("BENCH_figureT.json"));
         let back = read_figure(&path).unwrap();
@@ -235,13 +249,13 @@ mod tests {
 
     #[test]
     fn identical_series_pass_comparison() {
-        let series = table_to_series("figureT", &sample_table());
+        let series = table_to_series("figureT", &sample_table(), EnginePolicy::default());
         assert!(compare_figures(&series, &series).is_empty());
     }
 
     #[test]
     fn drift_and_shape_changes_are_flagged() {
-        let baseline = table_to_series("figureT", &sample_table());
+        let baseline = table_to_series("figureT", &sample_table(), EnginePolicy::default());
 
         // Metric drift beyond tolerance.
         let mut drifted = baseline.clone();

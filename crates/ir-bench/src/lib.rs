@@ -30,7 +30,6 @@ pub use cli::BenchArgs;
 pub use emit::{compare_figures, read_figure, table_to_series, write_figure, FigureSeries};
 pub use metrics::{MethodMeasurement, MethodSeries};
 pub use runner::{
-    measure_iterative, measure_iterative_threaded, measure_method, measure_method_threaded,
-    print_table, ExperimentTable,
+    measure_iterative, measure_method, measure_method_threaded, print_table, ExperimentTable,
 };
 pub use workloads::{BenchDataset, Scale};

@@ -40,7 +40,7 @@ impl MethodMeasurement {
     /// Creates a zeroed measurement for an algorithm at `x`.
     pub fn new(algorithm: Algorithm, x: f64) -> Self {
         MethodMeasurement {
-            algorithm: algorithm.name().to_string(),
+            algorithm: algorithm.to_string(),
             x,
             evaluated_per_dim: 0.0,
             io_time_ms: 0.0,

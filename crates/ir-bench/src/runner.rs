@@ -1,11 +1,10 @@
 //! Running a method over a workload and printing paper-style tables.
 
 use crate::metrics::MethodMeasurement;
+use immutable_regions::engine::{EngineResult, IrEngine};
 use ir_core::iterative::compute_iterative;
 use ir_core::parallel::run_queries;
-use ir_core::{
-    Algorithm, BatchRegionComputation, ComputationStats, RegionComputation, RegionConfig,
-};
+use ir_core::{Algorithm, ComputationStats, RegionConfig};
 use ir_datagen::QueryWorkload;
 use ir_storage::TopKIndex;
 use ir_types::IrResult;
@@ -19,90 +18,77 @@ fn accumulate_stats(total: &mut MethodMeasurement, index: &TopKIndex, stats: &Co
     total.physical_reads += stats.io.physical_reads as f64;
 }
 
-/// Measures one algorithm/configuration over a workload, averaging over the
-/// queries (the paper averages over 100 queries per point).
+/// Measures one algorithm/configuration over a workload on the sequential
+/// path (per-query cold starts), averaging over the queries (the paper
+/// averages over 100 queries per point).
 pub fn measure_method(
-    index: &TopKIndex,
+    engine: &IrEngine,
     workload: &QueryWorkload,
     algorithm: Algorithm,
     config: RegionConfig,
     x: f64,
-) -> IrResult<MethodMeasurement> {
+) -> EngineResult<MethodMeasurement> {
     let mut total = MethodMeasurement::new(algorithm, x);
     for query in workload.iter() {
-        index.cold_start();
-        let mut computation = RegionComputation::new(index, query, config)?;
-        let report = computation.compute()?;
-        accumulate_stats(&mut total, index, &report.stats);
+        engine.cold_start();
+        let report = engine.query_with(query, config)?;
+        accumulate_stats(&mut total, engine.index(), &report.stats);
     }
     Ok(total.averaged_over(workload.len()))
 }
 
-/// Like [`measure_method`], but with the whole workload fanned out over
-/// `threads` workers sharing one warm buffer pool
-/// ([`BatchRegionComputation`]). With `threads <= 1` this *is*
-/// [`measure_method`] — the sequential path, per-query cold starts
-/// included. With more workers the pool is cold-started once and queries
-/// run concurrently, so the candidate/logical-read metrics are unchanged
-/// (they are scheduling independent) while wall-clock time drops on a
-/// multi-core host.
+/// Like [`measure_method`], but honouring the engine's worker count: with
+/// more than one worker the whole workload is fanned out over the engine's
+/// batch pool ([`IrEngine::query_batch_detailed`]) sharing one warm buffer
+/// pool. The candidate/logical-read metrics are unchanged either way (they
+/// are scheduling independent) while wall-clock time drops on a multi-core
+/// host.
 pub fn measure_method_threaded(
-    index: &TopKIndex,
+    engine: &IrEngine,
     workload: &QueryWorkload,
     algorithm: Algorithm,
     config: RegionConfig,
     x: f64,
-    threads: usize,
-) -> IrResult<MethodMeasurement> {
-    if threads <= 1 {
-        return measure_method(index, workload, algorithm, config, x);
+) -> EngineResult<MethodMeasurement> {
+    if engine.threads() <= 1 {
+        return measure_method(engine, workload, algorithm, config, x);
     }
-    index.cold_start();
-    let outcome = BatchRegionComputation::new(index, config)
-        .with_threads(threads)
-        .run_detailed(workload.queries())?;
+    engine.cold_start();
+    let outcome = engine
+        .with_config(config)
+        .query_batch_detailed(workload.queries())?;
     let mut total = MethodMeasurement::new(algorithm, x);
     for report in &outcome.reports {
-        accumulate_stats(&mut total, index, &report.stats);
+        accumulate_stats(&mut total, engine.index(), &report.stats);
     }
     Ok(total.averaged_over(workload.len()))
 }
 
-/// Measures the iterative re-evaluation baseline for `φ > 0` (Figure 15).
+/// Measures the iterative re-evaluation baseline for `φ > 0` (Figure 15),
+/// fanning the per-query re-evaluations out over the engine's workers (each
+/// query's iterative chain stays sequential — it is inherently so — but
+/// distinct queries run concurrently).
 pub fn measure_iterative(
-    index: &TopKIndex,
+    engine: &IrEngine,
     workload: &QueryWorkload,
     algorithm: Algorithm,
     phi: usize,
     x: f64,
-) -> IrResult<MethodMeasurement> {
-    measure_iterative_threaded(index, workload, algorithm, phi, x, 1)
-}
-
-/// [`measure_iterative`] with the per-query re-evaluations fanned out over
-/// `threads` workers (each query's iterative chain stays sequential — it is
-/// inherently so — but distinct queries run concurrently).
-pub fn measure_iterative_threaded(
-    index: &TopKIndex,
-    workload: &QueryWorkload,
-    algorithm: Algorithm,
-    phi: usize,
-    x: f64,
-    threads: usize,
-) -> IrResult<MethodMeasurement> {
+) -> EngineResult<MethodMeasurement> {
     let mut total = MethodMeasurement::new(algorithm, x);
-    total.algorithm = format!("{}-iter", algorithm.name());
+    total.algorithm = format!("{algorithm}-iter");
+    let index = engine.index();
     let queries = workload.queries();
-    let reports = if threads <= 1 {
+    let reports = if engine.threads() <= 1 {
         let mut reports = Vec::with_capacity(queries.len());
         for query in workload.iter() {
-            index.cold_start();
+            engine.cold_start();
             reports.push(compute_iterative(index, query, algorithm, phi)?);
         }
         reports
     } else {
-        index.cold_start();
-        let (results, _worker_io) = run_queries(index, threads, queries.len(), |qi| {
+        engine.cold_start();
+        let (results, _worker_io) = run_queries(index, engine.threads(), queries.len(), |qi| {
             compute_iterative(index, &queries[qi], algorithm, phi)
         });
         results.into_iter().collect::<IrResult<Vec<_>>>()?
@@ -196,9 +182,11 @@ mod tests {
 
     #[test]
     fn measure_method_produces_sane_averages() {
-        let (index, workload) = BenchDataset::Wsj.prepare(Scale::Smoke, 2, 5, 2).unwrap();
+        let (engine, workload) = BenchDataset::Wsj
+            .prepare_engine(Scale::Smoke, 2, 5, 2, 1)
+            .unwrap();
         let scan = measure_method(
-            &index,
+            &engine,
             &workload,
             Algorithm::Scan,
             RegionConfig::flat(Algorithm::Scan),
@@ -206,7 +194,7 @@ mod tests {
         )
         .unwrap();
         let cpt = measure_method(
-            &index,
+            &engine,
             &workload,
             Algorithm::Cpt,
             RegionConfig::flat(Algorithm::Cpt),
@@ -220,23 +208,23 @@ mod tests {
 
     #[test]
     fn threaded_measurements_are_worker_count_invariant() {
-        let (index, workload) = BenchDataset::St.prepare(Scale::Smoke, 2, 5, 3).unwrap();
+        let (engine, workload) = BenchDataset::St
+            .prepare_engine(Scale::Smoke, 2, 5, 3, 2)
+            .unwrap();
         let two = measure_method_threaded(
-            &index,
+            &engine,
             &workload,
             Algorithm::Cpt,
             RegionConfig::flat(Algorithm::Cpt),
             2.0,
-            2,
         )
         .unwrap();
         let four = measure_method_threaded(
-            &index,
+            &engine.with_threads(4),
             &workload,
             Algorithm::Cpt,
             RegionConfig::flat(Algorithm::Cpt),
             2.0,
-            4,
         )
         .unwrap();
         // The deterministic series are identical for every worker count —

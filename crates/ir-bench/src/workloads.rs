@@ -1,5 +1,6 @@
 //! Benchmark datasets and workloads (the paper's WSJ, KB and ST).
 
+use immutable_regions::engine::{EngineResult, IrEngine};
 use ir_datagen::queries::DimSelection;
 use ir_datagen::{
     CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator, QueryWorkload,
@@ -128,6 +129,22 @@ impl BenchDataset {
             0xBEEF,
         )?;
         Ok((index, workload))
+    }
+
+    /// Like [`BenchDataset::prepare`], but wrapping the index into an
+    /// [`IrEngine`] with `threads` batch workers — the front door every
+    /// figure runner serves its workload through.
+    pub fn prepare_engine(
+        &self,
+        scale: Scale,
+        qlen: usize,
+        k: usize,
+        num_queries: usize,
+        threads: usize,
+    ) -> EngineResult<(IrEngine, QueryWorkload)> {
+        let (index, workload) = self.prepare(scale, qlen, k, num_queries)?;
+        let engine = IrEngine::builder().index(index).threads(threads).build()?;
+        Ok((engine, workload))
     }
 
     /// Number of queries to average over at the given scale (the paper uses

@@ -9,7 +9,35 @@ use crate::solver_phi::solve_dim_phi;
 use ir_storage::{IoStatsSnapshot, TopKIndex};
 use ir_topk::{TaConfig, TaRun};
 use ir_types::{IrResult, QueryVector, TopKResult};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How a computation holds its index: a plain borrow (the classic zero-cost
+/// constructors) or a shared [`Arc`] handle, which erases the lifetime so
+/// owning façades (the umbrella crate's `IrEngine`) can hand computations out
+/// without borrowing from themselves.
+#[derive(Clone)]
+pub(crate) enum IndexHandle<'a> {
+    /// Borrowed from the caller — the computation cannot outlive the index.
+    Borrowed(&'a TopKIndex),
+    /// Shared ownership — the computation keeps the index alive on its own.
+    Shared(Arc<TopKIndex>),
+}
+
+impl std::ops::Deref for IndexHandle<'_> {
+    type Target = TopKIndex;
+
+    fn deref(&self) -> &TopKIndex {
+        match self {
+            IndexHandle::Borrowed(index) => index,
+            IndexHandle::Shared(index) => index,
+        }
+    }
+}
+
+/// A [`RegionComputation`] that owns its index via [`Arc`] and therefore has
+/// no borrowed lifetime — the form returned by owning façades.
+pub type OwnedRegionComputation = RegionComputation<'static>;
 
 /// A top-k query whose result has been computed and whose immutable regions
 /// can be derived.
@@ -29,8 +57,9 @@ use std::time::Instant;
 /// assert!((dim0.immutable.lo - (-16.0 / 35.0)).abs() < 1e-9);
 /// assert!((dim0.immutable.hi - 0.1).abs() < 1e-9);
 /// ```
+#[must_use = "a region computation does nothing until `compute` is called"]
 pub struct RegionComputation<'a> {
-    index: &'a TopKIndex,
+    index: IndexHandle<'a>,
     ta: TaRun,
     config: RegionConfig,
     topk_io: IoStatsSnapshot,
@@ -49,12 +78,42 @@ impl<'a> RegionComputation<'a> {
         config: RegionConfig,
         ta_config: &TaConfig,
     ) -> IrResult<Self> {
+        Self::from_handle(IndexHandle::Borrowed(index), query, config, ta_config)
+    }
+
+    /// Like [`RegionComputation::new`], but holding the index via [`Arc`]:
+    /// the returned computation has no borrowed lifetime and can be stored,
+    /// sent across threads, or returned from owning services.
+    pub fn new_shared(
+        index: Arc<TopKIndex>,
+        query: &QueryVector,
+        config: RegionConfig,
+    ) -> IrResult<OwnedRegionComputation> {
+        Self::with_ta_config_shared(index, query, config, &TaConfig::default())
+    }
+
+    /// [`RegionComputation::new_shared`] with an explicit TA configuration.
+    pub fn with_ta_config_shared(
+        index: Arc<TopKIndex>,
+        query: &QueryVector,
+        config: RegionConfig,
+        ta_config: &TaConfig,
+    ) -> IrResult<OwnedRegionComputation> {
+        RegionComputation::from_handle(IndexHandle::Shared(index), query, config, ta_config)
+    }
+
+    pub(crate) fn from_handle<'b>(
+        index: IndexHandle<'b>,
+        query: &QueryVector,
+        config: RegionConfig,
+        ta_config: &TaConfig,
+    ) -> IrResult<RegionComputation<'b>> {
         // Diff the calling thread's own stats shard (not the pool total) so
         // the TA I/O stays correctly attributed even when other workers are
         // using the same buffer pool concurrently; single-threaded the two
         // are identical.
         let before = index.thread_io_snapshot();
-        let ta = TaRun::execute(index, query, ta_config)?;
+        let ta = TaRun::execute(&index, query, ta_config)?;
         let topk_io = index.thread_io_snapshot().since(&before);
         Ok(RegionComputation {
             index,
@@ -95,7 +154,7 @@ impl<'a> RegionComputation<'a> {
         let io_before = self.index.thread_io_snapshot();
         let started = Instant::now();
 
-        let mut evaluator = CandidateEvaluator::new(self.index);
+        let mut evaluator = CandidateEvaluator::new(&self.index);
         let qlen = self.ta.dims().len();
         let mut dims: Vec<DimRegions> = Vec::with_capacity(qlen);
         let mut evaluated_per_dim = Vec::with_capacity(qlen);
@@ -114,7 +173,7 @@ impl<'a> RegionComputation<'a> {
                 self.config.phi == 0 && self.config.mode == PerturbationMode::WithReorderings;
             let (regions, info) = if use_flat {
                 solve_dim_flat(
-                    self.index,
+                    &self.index,
                     &mut self.ta,
                     dim_index,
                     &self.config,
@@ -122,7 +181,7 @@ impl<'a> RegionComputation<'a> {
                 )?
             } else {
                 solve_dim_phi(
-                    self.index,
+                    &self.index,
                     &mut self.ta,
                     dim_index,
                     &self.config,
@@ -167,10 +226,10 @@ impl<'a> RegionComputation<'a> {
         let qlen = self.ta.dims().len();
 
         let (solved, _worker_io) =
-            crate::parallel::run_queries(self.index, threads, qlen, |dim_index| {
+            crate::parallel::run_queries(&self.index, threads, qlen, |dim_index| {
                 let before = self.index.thread_io_snapshot();
                 let result = crate::parallel::solve_dim_from_snapshot(
-                    self.index,
+                    &self.index,
                     &self.ta,
                     dim_index,
                     &self.config,

@@ -35,7 +35,7 @@ impl Algorithm {
         matches!(self, Algorithm::Thres | Algorithm::Cpt)
     }
 
-    /// Display name matching the paper.
+    /// Display name matching the paper (what [`std::fmt::Display`] prints).
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::Scan => "Scan",
@@ -43,6 +43,12 @@ impl Algorithm {
             Algorithm::Thres => "Thres",
             Algorithm::Cpt => "CPT",
         }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -49,7 +49,7 @@ pub mod solver_flat;
 pub mod solver_phi;
 pub mod threshold;
 
-pub use compute::RegionComputation;
+pub use compute::{OwnedRegionComputation, RegionComputation};
 pub use config::{Algorithm, PerturbationMode, RegionConfig};
 pub use metrics::ComputationStats;
 pub use oracle::ExhaustiveOracle;

@@ -11,7 +11,7 @@
 //! * [`BatchRegionComputation`] runs *many* queries concurrently over one
 //!   warm buffer pool, each worker owning its private scratch state (a
 //!   cloned [`TaRun`] snapshot plus a fresh
-//!   [`CandidateEvaluator`](crate::evaluator::CandidateEvaluator)).
+//!   [`CandidateEvaluator`]).
 //!
 //! **Determinism.** Parallel output is byte-for-byte identical for every
 //! worker count, and merge order is fixed by dimension / query index, never
@@ -28,7 +28,7 @@
 //! while many workers hammer the same buffer pool, and the per-worker
 //! tallies always merge losslessly into the pool total.
 
-use crate::compute::RegionComputation;
+use crate::compute::{IndexHandle, RegionComputation};
 use crate::config::{PerturbationMode, RegionConfig};
 use crate::evaluator::CandidateEvaluator;
 use crate::region::{DimRegions, RegionReport};
@@ -199,9 +199,10 @@ impl BatchOutcome {
 ///     .zip(&sequential)
 ///     .all(|(a, b)| a.dims == b.dims));
 /// ```
-#[derive(Clone, Copy)]
+#[derive(Clone)]
+#[must_use = "a batch runner does nothing until `run` is called"]
 pub struct BatchRegionComputation<'a> {
-    index: &'a TopKIndex,
+    index: IndexHandle<'a>,
     config: RegionConfig,
     ta_config: TaConfig,
     threads: usize,
@@ -210,6 +211,20 @@ pub struct BatchRegionComputation<'a> {
 impl<'a> BatchRegionComputation<'a> {
     /// Creates a batch runner over `index` with one worker (sequential).
     pub fn new(index: &'a TopKIndex, config: RegionConfig) -> Self {
+        Self::from_handle(IndexHandle::Borrowed(index), config)
+    }
+
+    /// Like [`BatchRegionComputation::new`], but holding the index via
+    /// [`Arc`](std::sync::Arc): the runner has no borrowed lifetime, so an
+    /// owning service can store it or move it across threads.
+    pub fn new_shared(
+        index: std::sync::Arc<TopKIndex>,
+        config: RegionConfig,
+    ) -> BatchRegionComputation<'static> {
+        BatchRegionComputation::from_handle(IndexHandle::Shared(index), config)
+    }
+
+    fn from_handle<'b>(index: IndexHandle<'b>, config: RegionConfig) -> BatchRegionComputation<'b> {
         BatchRegionComputation {
             index,
             config,
@@ -254,9 +269,9 @@ impl<'a> BatchRegionComputation<'a> {
     pub fn run_detailed(&self, queries: &[QueryVector]) -> IrResult<BatchOutcome> {
         let started = Instant::now();
         let (results, worker_io) =
-            run_queries(self.index, self.threads, queries.len(), |query_index| {
+            run_queries(&self.index, self.threads, queries.len(), |query_index| {
                 let mut computation = RegionComputation::with_ta_config(
-                    self.index,
+                    &self.index,
                     &queries[query_index],
                     self.config,
                     &self.ta_config,

@@ -106,6 +106,7 @@ impl DimRegions {
 /// The complete output of a region computation: one [`DimRegions`] per query
 /// dimension plus the bookkeeping the evaluation section measures.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[must_use = "a region report carries the computed regions and cost counters"]
 pub struct RegionReport {
     /// Per-dimension regions, in the query's dimension order.
     pub dims: Vec<DimRegions>,

@@ -7,7 +7,7 @@
 //! score-coordinate plane (Figures 4, 8 and 9 of the paper). Everything the
 //! algorithms need reduces to questions about such lines:
 //!
-//! * where do two lines cross ([`line`]),
+//! * where do two lines cross ([`mod@line`]),
 //! * what is the lower envelope of the current result lines — i.e. the score
 //!   of the k-th result tuple as a function of `δ` ([`envelope`]),
 //! * where are the first `φ + 1` order changes among a set of lines, and how

@@ -33,6 +33,7 @@ pub enum StorageBackend {
 
 /// Builder for [`TopKIndex`].
 #[derive(Debug)]
+#[must_use = "an index builder does nothing until `build` is called"]
 pub struct IndexBuilder {
     backend: StorageBackend,
     pool_capacity: usize,
@@ -119,6 +120,12 @@ impl IndexBuilder {
             dimensionality: dataset.dimensionality(),
             io_config: self.io_config,
         })
+    }
+
+    /// [`IndexBuilder::build`], wrapped in an [`Arc`] so the index can be
+    /// shared by owning handles (engines, subscriptions) without lifetimes.
+    pub fn build_shared(self, dataset: &Dataset) -> IrResult<Arc<TopKIndex>> {
+        self.build(dataset).map(Arc::new)
     }
 }
 

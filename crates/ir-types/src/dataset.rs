@@ -18,6 +18,7 @@ pub struct Dataset {
 
 /// Incremental builder for [`Dataset`].
 #[derive(Debug, Default)]
+#[must_use = "a dataset builder does nothing until `build` is called"]
 pub struct DatasetBuilder {
     dimensionality: u32,
     tuples: Vec<SparseVector>,

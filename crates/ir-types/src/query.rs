@@ -19,6 +19,7 @@ pub struct QueryVector {
 
 /// Builder for [`QueryVector`].
 #[derive(Debug, Default)]
+#[must_use = "a query builder does nothing until `build` is called"]
 pub struct QueryBuilder {
     pairs: Vec<(u32, f64)>,
     k: usize,

@@ -51,6 +51,7 @@ pub fn score_cmp(a: &RankedTuple, b: &RankedTuple) -> Ordering {
 /// An ordered top-k result list `R(q) = [d_1, ..., d_k]` in decreasing score
 /// order (position 0 is the best tuple, position `k-1` is the paper's `d_k`).
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "a top-k result should be inspected, not discarded"]
 pub struct TopKResult {
     entries: Vec<RankedTuple>,
 }
