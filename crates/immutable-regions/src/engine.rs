@@ -38,7 +38,7 @@ use ir_core::{
     BatchOutcome, BatchRegionComputation, OwnedRegionComputation, RegionComputation, RegionConfig,
     RegionReport,
 };
-use ir_storage::{IndexBuilder, IoConfig, StorageBackend, TopKIndex};
+use ir_storage::{BackendKind, IndexBuilder, IoConfig, StorageBackend, TopKIndex};
 use ir_topk::TaConfig;
 use ir_types::{Dataset, DimId, IrError, QueryVector, TopKResult};
 use serde::{Deserialize, Serialize};
@@ -137,15 +137,29 @@ impl From<IrError> for EngineError {
 }
 
 /// The serializable part of an engine's configuration: the default region
-/// policy plus the worker count. Loadable from a JSON file
-/// ([`EnginePolicy::from_json_file`]) and dumped into `BENCH_*.json`
-/// metadata by the experiment harness.
+/// policy, the worker count and the storage-backend kind. Loadable from a
+/// JSON file ([`EnginePolicy::from_json_file`]) and dumped into
+/// `BENCH_*.json` metadata by the experiment harness.
+///
+/// Deserialization is strict — every field must be present (the vendored
+/// serde has no `#[serde(default)]`), so policy JSON written before a field
+/// existed must be refreshed; the committed bench baselines were
+/// regenerated when `backend` was added.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EnginePolicy {
     /// Default region configuration (algorithm, φ, perturbation mode).
     pub config: RegionConfig,
     /// Worker count for batch execution (1 = sequential).
     pub threads: usize,
+    /// Which page-store backend serves the engine (mem, file or mmap).
+    ///
+    /// Descriptive metadata: [`IrEngine::policy`] reports the backend the
+    /// index was actually built on, and the experiment harness stamps it
+    /// into emitted series. When *loading* a policy, the field is advisory —
+    /// selecting a file or mmap backend needs a path and goes through
+    /// [`IrEngineBuilder::backend`] / [`IrEngineBuilder::on_disk`] /
+    /// [`IrEngineBuilder::on_mmap`].
+    pub backend: BackendKind,
 }
 
 impl Default for EnginePolicy {
@@ -153,6 +167,7 @@ impl Default for EnginePolicy {
         EnginePolicy {
             config: RegionConfig::default(),
             threads: 1,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -266,6 +281,15 @@ impl<'d> IrEngineBuilder<'d> {
         self.backend(StorageBackend::Disk(dir.into()))
     }
 
+    /// Shorthand for a memory-mapped page store under `dir`.
+    ///
+    /// Requires `ir-storage`'s `mmap` cargo feature (re-exported as this
+    /// crate's `mmap` feature); without it [`IrEngineBuilder::build`]
+    /// returns a descriptive error instead of an engine.
+    pub fn on_mmap(self, dir: impl Into<PathBuf>) -> Self {
+        self.backend(StorageBackend::Mmap(dir.into()))
+    }
+
     /// Sets the buffer-pool budget in pages for the index built from a
     /// dataset.
     pub fn pool_capacity(mut self, pages: usize) -> Self {
@@ -303,7 +327,10 @@ impl<'d> IrEngineBuilder<'d> {
         self
     }
 
-    /// Applies a whole [`EnginePolicy`] (default config + worker count).
+    /// Applies a whole [`EnginePolicy`]: the default config and the worker
+    /// count. The policy's `backend` field is *not* applied — it is
+    /// descriptive metadata (a file/mmap backend needs a path; see
+    /// [`EnginePolicy::backend`]).
     pub fn policy(self, policy: EnginePolicy) -> Self {
         self.config(policy.config).threads(policy.threads)
     }
@@ -415,12 +442,19 @@ impl IrEngine {
         self.threads
     }
 
-    /// The engine's serializable policy (default config + worker count).
+    /// The engine's serializable policy (default config, worker count and
+    /// the backend the index was built on).
     pub fn policy(&self) -> EnginePolicy {
         EnginePolicy {
             config: self.config,
             threads: self.threads,
+            backend: self.index.backend_kind(),
         }
+    }
+
+    /// Which page-store backend the engine serves from.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.index.backend_kind()
     }
 
     /// A handle onto the same warm state with a different default region
@@ -740,6 +774,7 @@ mod tests {
         let policy = EnginePolicy {
             config: RegionConfig::with_phi(ir_core::Algorithm::Prune, 3).composition_only(),
             threads: 4,
+            backend: BackendKind::Mmap,
         };
         let json = policy.to_json();
         assert_eq!(EnginePolicy::from_json(&json).unwrap(), policy);
@@ -747,6 +782,49 @@ mod tests {
             EnginePolicy::from_json("not json"),
             Err(EngineError::Policy(_))
         ));
+    }
+
+    #[test]
+    fn policy_reports_the_built_backend() {
+        let dir = tempfile::tempdir().unwrap();
+        let disk_engine = IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .on_disk(dir.path())
+            .build()
+            .unwrap();
+        assert_eq!(disk_engine.backend_kind(), BackendKind::File);
+        assert_eq!(disk_engine.policy().backend, BackendKind::File);
+        // The default engine serves from memory.
+        assert_eq!(engine().policy().backend, BackendKind::Mem);
+    }
+
+    #[cfg(not(feature = "mmap"))]
+    #[test]
+    fn mmap_backend_without_feature_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let err = IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .on_mmap(dir.path())
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("mmap"), "{err}");
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_backend_serves_the_running_example() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .on_mmap(dir.path())
+            .build()
+            .unwrap();
+        assert_eq!(engine.backend_kind(), BackendKind::Mmap);
+        let report = engine.query(&QueryVector::running_example()).unwrap();
+        let d0 = report.for_dim(DimId(0)).unwrap();
+        assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+        assert!((d0.immutable.hi - 0.1).abs() < 1e-9);
     }
 
     #[test]

@@ -3,12 +3,21 @@
 //! fast). The full parameter sweeps live in the `figure*` runner binaries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ir_bench::{BenchDataset, Scale};
+use ir_bench::{BenchArgs, BenchDataset, Scale};
 use ir_core::{Algorithm, RegionConfig};
+use ir_storage::BackendKind;
+
+/// The storage backend under benchmark: `cargo bench -- --backend mmap`
+/// (or env `IR_BENCH_BACKEND`) swaps it, exactly like the figure runners.
+/// The vendored criterion ignores unknown CLI arguments, so the shared
+/// parser sees the flag untouched.
+fn backend() -> BackendKind {
+    BenchArgs::parse().backend
+}
 
 fn bench_figure10_wsj_qlen(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::Wsj
-        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure10_wsj_qlen4_k10");
     group.sample_size(10);
@@ -30,7 +39,7 @@ fn bench_figure10_wsj_qlen(c: &mut Criterion) {
 
 fn bench_figure11_st_qlen(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::St
-        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure11_st_qlen4_k10");
     group.sample_size(10);
@@ -52,7 +61,7 @@ fn bench_figure11_st_qlen(c: &mut Criterion) {
 
 fn bench_figure12_kb_qlen(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::Kb
-        .prepare_engine(Scale::Smoke, 6, 10, 3, 1)
+        .prepare_engine(Scale::Smoke, 6, 10, 3, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure12_kb_qlen6_k10");
     group.sample_size(10);
@@ -77,7 +86,7 @@ fn bench_figure13_vary_k(c: &mut Criterion) {
     group.sample_size(10);
     for k in [10usize, 40] {
         let (engine, workload) = BenchDataset::Wsj
-            .prepare_engine(Scale::Smoke, 4, k, 3, 1)
+            .prepare_engine(Scale::Smoke, 4, k, 3, 1, backend())
             .unwrap();
         for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
             group.bench_function(BenchmarkId::new(algorithm.to_string(), k), |b| {
@@ -98,7 +107,7 @@ fn bench_figure13_vary_k(c: &mut Criterion) {
 
 fn bench_figure14_vary_phi(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::Wsj
-        .prepare_engine(Scale::Smoke, 4, 10, 2, 1)
+        .prepare_engine(Scale::Smoke, 4, 10, 2, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure14_wsj_vary_phi");
     group.sample_size(10);
@@ -122,7 +131,7 @@ fn bench_figure14_vary_phi(c: &mut Criterion) {
 
 fn bench_figure15_oneoff_vs_iterative(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::Wsj
-        .prepare_engine(Scale::Smoke, 3, 10, 1, 1)
+        .prepare_engine(Scale::Smoke, 3, 10, 1, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure15_oneoff_vs_iterative_phi3");
     group.sample_size(10);
@@ -152,7 +161,7 @@ fn bench_figure15_oneoff_vs_iterative(c: &mut Criterion) {
 
 fn bench_figure16_composition_only(c: &mut Criterion) {
     let (engine, workload) = BenchDataset::Wsj
-        .prepare_engine(Scale::Smoke, 4, 10, 3, 1)
+        .prepare_engine(Scale::Smoke, 4, 10, 3, 1, backend())
         .unwrap();
     let mut group = c.benchmark_group("figure16_wsj_composition_only");
     group.sample_size(10);

@@ -24,9 +24,9 @@ fn main() -> EngineResult<()> {
     let args = BenchArgs::parse();
     let started = Instant::now();
     let scale = Scale::from_env();
-    probe_strategy_ablation(scale, args.threads)?;
-    pool_size_ablation(scale, args.threads)?;
-    phase2_pool_ablation(scale, args.threads)?;
+    probe_strategy_ablation(scale, &args)?;
+    pool_size_ablation(scale, &args)?;
+    phase2_pool_ablation(scale, &args)?;
     args.report_wall_clock(started);
     Ok(())
 }
@@ -54,14 +54,15 @@ fn measure_and_check(
     Ok(report)
 }
 
-fn probe_strategy_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
+fn probe_strategy_ablation(scale: Scale, args: &BenchArgs) -> EngineResult<()> {
     println!("=== Ablation 1: TA probe strategy (k = 10, qlen = 4) ===");
     println!(
         "{:<10} {:<14} {:>16} {:>16} {:>12}",
         "dataset", "strategy", "sorted accesses", "random accesses", "|C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (engine, workload) = dataset.prepare_engine(scale, 4, 10, 5, threads)?;
+        let (engine, workload) =
+            dataset.prepare_engine(scale, 4, 10, 5, args.threads, args.backend)?;
         for (name, strategy) in [
             ("round-robin", ProbeStrategy::RoundRobin),
             ("weighted-key", ProbeStrategy::WeightedKey),
@@ -96,7 +97,7 @@ fn probe_strategy_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
     Ok(())
 }
 
-fn pool_size_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
+fn pool_size_ablation(scale: Scale, args: &BenchArgs) -> EngineResult<()> {
     println!("=== Ablation 2: buffer-pool size (WSJ-like, k = 10, qlen = 4) ===");
     println!(
         "{:<12} {:<8} {:>16} {:>16} {:>14}",
@@ -111,12 +112,15 @@ fn pool_size_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
         // A fresh engine per pool budget: the pool size is a build-time
         // storage choice, exactly what the engine builder exposes. The
         // dataset is borrowed, not cloned — only the index is rebuilt.
+        let (storage, scratch) = args.storage_backend()?;
         let engine = IrEngine::builder()
             .dataset_ref(&dataset)
+            .backend(storage)
             .pool_capacity(pool_pages)
             .io_config(IoConfig::default())
-            .threads(threads)
+            .threads(args.threads)
             .build()?;
+        drop(scratch);
         for algorithm in [Algorithm::Scan, Algorithm::Cpt] {
             let mut logical = 0u64;
             let mut physical = 0u64;
@@ -144,14 +148,15 @@ fn pool_size_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
     Ok(())
 }
 
-fn phase2_pool_ablation(scale: Scale, threads: usize) -> EngineResult<()> {
+fn phase2_pool_ablation(scale: Scale, args: &BenchArgs) -> EngineResult<()> {
     println!("=== Ablation 3: evaluated candidates per technique (k = 10, qlen = 4) ===");
     println!(
         "{:<10} {:<8} {:>20} {:>16}",
         "dataset", "method", "evaluated cands/dim", "initial |C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (engine, workload) = dataset.prepare_engine(scale, 4, 10, 5, threads)?;
+        let (engine, workload) =
+            dataset.prepare_engine(scale, 4, 10, 5, args.threads, args.backend)?;
         for algorithm in Algorithm::ALL {
             let mut evaluated = 0.0;
             let mut initial = 0usize;

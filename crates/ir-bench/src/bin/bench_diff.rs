@@ -1,7 +1,7 @@
 //! Diffs freshly emitted `BENCH_<figure>.json` series against a committed
 //! baseline directory.
 //!
-//! Usage: `bench_diff [--update-baseline] <baseline_dir> <candidate_dir>`
+//! Usage: `bench_diff [--update-baseline] [--exact] <baseline_dir> <candidate_dir>`
 //!
 //! Every `BENCH_*.json` in the baseline must exist in the candidate and
 //! pass [`ir_bench::compare_figures`]: same methods, same x grids, the
@@ -10,11 +10,17 @@
 //! physical-read metrics are never compared. Exit code 1 on any violation —
 //! the CI regression gate.
 //!
+//! With `--exact`, the deterministic metrics must match with zero
+//! tolerance — the mode the CI backend matrix uses to prove that a mem-
+//! backend emission and an mmap-backend emission of the same workload are
+//! interchangeable (timing/physical-read metrics stay exempt: those are
+//! the io counters that legitimately differ).
+//!
 //! With `--update-baseline`, an intentional change is accepted instead:
 //! every candidate `BENCH_*.json` is copied over the baseline directory
 //! (commit the result) and the exit code is 0.
 
-use ir_bench::{compare_figures, read_figure};
+use ir_bench::{compare_figures, compare_figures_with_tolerance, read_figure};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -79,16 +85,19 @@ fn update_baseline(baseline_dir: &str, candidate_dir: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut update = false;
+    let mut exact = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--update-baseline" {
             update = true;
+        } else if arg == "--exact" {
+            exact = true;
         } else {
             positional.push(arg);
         }
     }
     let [baseline_dir, candidate_dir] = positional.as_slice() else {
-        eprintln!("usage: bench_diff [--update-baseline] <baseline_dir> <candidate_dir>");
+        eprintln!("usage: bench_diff [--update-baseline] [--exact] <baseline_dir> <candidate_dir>");
         return ExitCode::FAILURE;
     };
 
@@ -137,7 +146,11 @@ fn main() -> ExitCode {
                 } else {
                     match read_figure(&candidate_path) {
                         Ok(candidate) => {
-                            file_violations.extend(compare_figures(&baseline, &candidate));
+                            file_violations.extend(if exact {
+                                compare_figures_with_tolerance(&baseline, &candidate, 0.0)
+                            } else {
+                                compare_figures(&baseline, &candidate)
+                            });
                             compared += 1;
                         }
                         Err(e) => file_violations.push(format!("candidate unreadable: {e}")),

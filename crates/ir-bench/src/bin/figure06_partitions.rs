@@ -37,10 +37,13 @@ fn main() -> EngineResult<()> {
             },
             6,
         )?;
+        let (storage, scratch) = args.storage_backend()?;
         let engine = IrEngine::builder()
             .dataset(dataset)
+            .backend(storage)
             .threads(args.threads)
             .build()?;
+        drop(scratch);
         let query = &workload.queries()[0];
         let computation = engine.computation(query)?;
         let candidates = computation.ta().candidates().entries().to_vec();

@@ -22,7 +22,8 @@ fn main() -> EngineResult<()> {
             "k",
         );
         for &k in ks {
-            let (engine, workload) = dataset.prepare_engine(scale, 4, k, queries, args.threads)?;
+            let (engine, workload) =
+                dataset.prepare_engine(scale, 4, k, queries, args.threads, args.backend)?;
             for algorithm in Algorithm::ALL {
                 let row = measure_method_threaded(
                     &engine,

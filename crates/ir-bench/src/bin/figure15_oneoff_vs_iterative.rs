@@ -19,7 +19,7 @@ fn main() -> EngineResult<()> {
         _ => &[1, 5, 10, 20, 40],
     };
     let (engine, workload) =
-        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads)?;
+        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads, args.backend)?;
     let mut table = ExperimentTable::new(
         "Figure 15 — one-off vs iterative processing, WSJ-like, k = 10, qlen = 4",
         "phi",

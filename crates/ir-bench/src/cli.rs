@@ -8,9 +8,19 @@
 //!   are identical for every value; wall-clock time, physical reads and
 //!   the simulated I/O time vary, because threaded runs share one warm
 //!   buffer pool instead of cold-starting per query,
+//! * `--backend {mem,file,mmap}` (or env `IR_BENCH_BACKEND`) — which page
+//!   store backs the index; file and mmap get a scratch page directory.
+//!   The deterministic series and the region output are identical for
+//!   every backend (the backend-agreement suite proves it byte for byte);
+//!   only device-level syscall counts and wall-clock change. `mmap`
+//!   requires binaries built with `--features mmap`,
 //! * `--emit-json DIR` (or env `IR_BENCH_EMIT_DIR`) — write each printed
 //!   table as a `BENCH_<figure>.json` series into `DIR` (for the CI
-//!   baseline diff; see the `bench_diff` binary).
+//!   baseline diff; see the `bench_diff` binary). The parsed backend and
+//!   worker count are stamped into the series' policy metadata.
+//!
+//! The criterion benches reuse the same parser, so `cargo bench --
+//! --backend mmap` (or the env var) swaps their backend too.
 //!
 //! Unknown arguments are ignored so the runners stay tolerant of harness
 //! plumbing.
@@ -19,9 +29,38 @@ use crate::emit::{table_to_series, write_figure};
 use crate::runner::ExperimentTable;
 use immutable_regions::engine::EnginePolicy;
 use ir_core::RegionConfig;
+use ir_storage::{BackendKind, StorageBackend};
 use ir_types::{IrError, IrResult};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Materializes a backend kind as a concrete [`StorageBackend`], creating a
+/// scratch page directory for the file and mmap backends.
+///
+/// The returned [`tempfile::TempDir`] guard must be held until the
+/// engine/index is *built* (the store creates its page file inside it).
+/// Dropping the guard afterwards is safe on Unix: the store keeps its
+/// descriptor to the unlinked file, and the disk space is reclaimed when
+/// the engine drops — the idiomatic scratch-file pattern the runners rely
+/// on. (On Windows, where an open file cannot be unlinked, the scratch
+/// directory may simply outlive the run in `%TEMP%`; the harness targets
+/// Unix.)
+pub fn materialize_backend(
+    kind: BackendKind,
+) -> IrResult<(StorageBackend, Option<tempfile::TempDir>)> {
+    match kind {
+        BackendKind::Mem => Ok((StorageBackend::Memory, None)),
+        BackendKind::File | BackendKind::Mmap => {
+            let dir = tempfile::tempdir()
+                .map_err(|e| IrError::Storage(format!("creating scratch page dir: {e}")))?;
+            let backend = match kind {
+                BackendKind::File => StorageBackend::Disk(dir.path().to_path_buf()),
+                _ => StorageBackend::Mmap(dir.path().to_path_buf()),
+            };
+            Ok((backend, Some(dir)))
+        }
+    }
+}
 
 /// Parsed runner options.
 #[derive(Clone, Debug, Default)]
@@ -29,6 +68,8 @@ pub struct BenchArgs {
     /// Worker count for batch/per-dimension parallel execution (1 =
     /// sequential, today's default path).
     pub threads: usize,
+    /// Which page-store backend the index is built on (default: mem).
+    pub backend: BackendKind,
     /// Directory to write `BENCH_<figure>.json` series into, if any.
     pub emit_dir: Option<PathBuf>,
 }
@@ -64,6 +105,7 @@ impl BenchArgs {
         }
 
         let mut threads: Option<usize> = None;
+        let mut backend: Option<BackendKind> = None;
         let mut emit_dir: Option<PathBuf> = None;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
@@ -71,6 +113,20 @@ impl BenchArgs {
                 match value.parse::<usize>() {
                     Ok(n) => threads = Some(n.max(1)),
                     Err(_) => eprintln!("warning: invalid --threads value `{value}`; ignored"),
+                }
+            } else if let Some(value) = flag_value(&arg, "--backend", &mut args) {
+                match value.parse::<BackendKind>() {
+                    Ok(kind) => backend = Some(kind),
+                    // An explicit flag deserves a hard error, never a
+                    // fallback: deterministic output is backend-invariant
+                    // by design, so a run that silently swapped mem in for
+                    // a typo'd backend would look indistinguishable from
+                    // the intended one and a CI backend matrix would pass
+                    // vacuously.
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
                 }
             } else if let Some(dir) = flag_value(&arg, "--emit-json", &mut args) {
                 emit_dir = Some(PathBuf::from(dir));
@@ -84,19 +140,45 @@ impl BenchArgs {
             })
             .unwrap_or(1)
             .max(1);
+        let backend = backend
+            .or_else(|| {
+                let value = std::env::var("IR_BENCH_BACKEND").ok()?;
+                match value.parse() {
+                    Ok(kind) => Some(kind),
+                    // Same hard error as the flag: the env var is documented
+                    // as its equivalent, and a silent mem fallback would be
+                    // indistinguishable from the intended run.
+                    Err(e) => {
+                        eprintln!("error: IR_BENCH_BACKEND: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            })
+            .unwrap_or_default();
         let emit_dir = emit_dir.or_else(|| std::env::var("IR_BENCH_EMIT_DIR").ok().map(Into::into));
-        BenchArgs { threads, emit_dir }
+        BenchArgs {
+            threads,
+            backend,
+            emit_dir,
+        }
+    }
+
+    /// Materializes the parsed backend kind as a concrete
+    /// [`StorageBackend`] (see [`materialize_backend`]).
+    pub fn storage_backend(&self) -> IrResult<(StorageBackend, Option<tempfile::TempDir>)> {
+        materialize_backend(self.backend)
     }
 
     /// The engine-policy template stamped into emitted `BENCH_<figure>.json`
     /// files: `config` is the figure's serving template (see
     /// [`BenchArgs::emit_with`]; the per-series algorithm and the figure's
-    /// x-axis parameter override it row by row) and `threads` is the parsed
-    /// worker count.
+    /// x-axis parameter override it row by row), `threads` is the parsed
+    /// worker count and `backend` the parsed storage backend.
     pub fn policy_with(&self, config: RegionConfig) -> EnginePolicy {
         EnginePolicy {
             config,
             threads: self.threads,
+            backend: self.backend,
         }
     }
 
@@ -129,12 +211,14 @@ impl BenchArgs {
     }
 
     /// Prints the total wall-clock time of the runner, labelled with the
-    /// worker count — the number the `--threads` speedup comparison reads.
+    /// worker count and backend — the line the `--threads` speedup and
+    /// backend comparisons read.
     pub fn report_wall_clock(&self, started: Instant) {
         println!(
-            "wall-clock: {:.3} s (threads = {})",
+            "wall-clock: {:.3} s (threads = {}, backend = {})",
             started.elapsed().as_secs_f64(),
-            self.threads
+            self.threads,
+            self.backend
         );
     }
 }
@@ -155,6 +239,55 @@ mod tests {
         let args = BenchArgs::from_arg_list(strings(&["--threads=2", "--emit-json=out"]));
         assert_eq!(args.threads, 2);
         assert_eq!(args.emit_dir, Some(PathBuf::from("out")));
+    }
+
+    #[test]
+    fn parses_backend_and_defaults_to_mem() {
+        assert_eq!(
+            BenchArgs::from_arg_list(strings(&[])).backend,
+            BackendKind::Mem
+        );
+        for (flag, kind) in [
+            ("mem", BackendKind::Mem),
+            ("file", BackendKind::File),
+            ("mmap", BackendKind::Mmap),
+        ] {
+            let args = BenchArgs::from_arg_list(strings(&["--backend", flag]));
+            assert_eq!(args.backend, kind);
+            let args = BenchArgs::from_arg_list(strings(&[&format!("--backend={flag}")]));
+            assert_eq!(args.backend, kind);
+        }
+        // An unknown backend value on the flag is a hard process exit (not
+        // testable in-process); only a *missing* IR_BENCH_BACKEND falls
+        // back to the default.
+    }
+
+    #[test]
+    fn storage_backend_materializes_scratch_dirs() {
+        let mem = BenchArgs::default();
+        let (backend, guard) = mem.storage_backend().unwrap();
+        assert!(matches!(backend, StorageBackend::Memory));
+        assert!(guard.is_none());
+
+        let file = BenchArgs {
+            backend: BackendKind::File,
+            ..BenchArgs::default()
+        };
+        let (backend, guard) = file.storage_backend().unwrap();
+        let StorageBackend::Disk(dir) = backend else {
+            panic!("expected a disk backend, got {backend:?}");
+        };
+        assert!(dir.is_dir(), "scratch dir must exist while the guard lives");
+        drop(guard);
+        assert!(!dir.exists(), "dropping the guard removes the scratch dir");
+    }
+
+    #[test]
+    fn policy_stamp_carries_backend_and_threads() {
+        let args = BenchArgs::from_arg_list(strings(&["--threads", "3", "--backend", "mmap"]));
+        let policy = args.policy_with(RegionConfig::default());
+        assert_eq!(policy.threads, 3);
+        assert_eq!(policy.backend, BackendKind::Mmap);
     }
 
     #[test]

@@ -86,9 +86,14 @@ pub fn read_figure(path: &Path) -> Result<FigureSeries, String> {
 /// drift, not behavioural change.
 const REL_TOLERANCE: f64 = 0.01;
 
-fn relative_mismatch(metric: &str, baseline: f64, candidate: f64) -> Option<String> {
+fn relative_mismatch(
+    metric: &str,
+    baseline: f64,
+    candidate: f64,
+    tolerance: f64,
+) -> Option<String> {
     let scale = baseline.abs().max(1.0);
-    if (candidate - baseline).abs() > REL_TOLERANCE * scale {
+    if (candidate - baseline).abs() > tolerance * scale {
         Some(format!(
             "{metric}: baseline {baseline:.4}, candidate {candidate:.4}"
         ))
@@ -102,6 +107,7 @@ fn point_violations(
     algorithm: &str,
     b: &MethodMeasurement,
     c: &MethodMeasurement,
+    tolerance: f64,
 ) -> Vec<String> {
     let mut out = Vec::new();
     let at = format!("{figure}/{algorithm} @ x={}", b.x);
@@ -118,7 +124,7 @@ fn point_violations(
         ("logical_reads", b.logical_reads, c.logical_reads),
         ("memory_kbytes", b.memory_kbytes, c.memory_kbytes),
     ] {
-        if let Some(v) = relative_mismatch(metric, baseline, candidate) {
+        if let Some(v) = relative_mismatch(metric, baseline, candidate, tolerance) {
             out.push(format!("{at}: {v}"));
         }
     }
@@ -131,6 +137,20 @@ fn point_violations(
 /// broken cross-method dominance (a pruning/thresholding method evaluating
 /// more than Scan).
 pub fn compare_figures(baseline: &FigureSeries, candidate: &FigureSeries) -> Vec<String> {
+    compare_figures_with_tolerance(baseline, candidate, REL_TOLERANCE)
+}
+
+/// [`compare_figures`] with an explicit relative tolerance for the
+/// deterministic metrics. A tolerance of `0.0` demands exact equality —
+/// what the CI backend matrix uses to prove a mem-backend emission and an
+/// mmap-backend emission of the same run are interchangeable. (Wall-clock
+/// and physical-read metrics are never compared at any tolerance; those
+/// legitimately differ run to run.)
+pub fn compare_figures_with_tolerance(
+    baseline: &FigureSeries,
+    candidate: &FigureSeries,
+    tolerance: f64,
+) -> Vec<String> {
     let mut violations = Vec::new();
     let figure = &baseline.figure;
     if baseline.x_label != candidate.x_label {
@@ -161,7 +181,13 @@ pub fn compare_figures(baseline: &FigureSeries, candidate: &FigureSeries) -> Vec
             continue;
         }
         for (b, c) in base_series.points.iter().zip(&cand_series.points) {
-            violations.extend(point_violations(figure, &base_series.algorithm, b, c));
+            violations.extend(point_violations(
+                figure,
+                &base_series.algorithm,
+                b,
+                c,
+                tolerance,
+            ));
         }
     }
     for extra in candidate
@@ -283,5 +309,22 @@ mod tests {
         timed.series[0].points[0].io_time_ms = 1e9;
         timed.series[0].points[0].physical_reads = 1e9;
         assert!(compare_figures(&baseline, &timed).is_empty());
+    }
+
+    #[test]
+    fn zero_tolerance_demands_exact_deterministic_metrics() {
+        let baseline = table_to_series("figureT", &sample_table(), EnginePolicy::default());
+        // A drift far below the default 1% tolerance...
+        let mut hair = baseline.clone();
+        hair.series[0].points[0].logical_reads += 0.001;
+        assert!(compare_figures(&baseline, &hair).is_empty());
+        // ...still fails the exact comparison the backend matrix uses.
+        let violations = compare_figures_with_tolerance(&baseline, &hair, 0.0);
+        assert!(violations.iter().any(|v| v.contains("logical_reads")));
+        // Identical series pass exactly; timing metrics stay exempt.
+        let mut timed = baseline.clone();
+        timed.series[0].points[0].cpu_time_ms = 1e9;
+        timed.series[0].points[0].physical_reads = 1e9;
+        assert!(compare_figures_with_tolerance(&baseline, &timed, 0.0).is_empty());
     }
 }

@@ -12,10 +12,12 @@
 //!
 //! Every runner additionally accepts `--threads N` (fan the workload out
 //! over N workers of the parallel execution layer; the measured candidate
-//! and logical-read series are identical for every N) and
-//! `--emit-json DIR` (write each table as `BENCH_<figure>.json` for the CI
-//! baseline diff performed by the `bench_diff` binary). See [`cli`] and
-//! [`emit`].
+//! and logical-read series are identical for every N),
+//! `--backend {mem,file,mmap}` (which page store backs the index — the
+//! series are byte-identical across backends, mmap needs `--features
+//! mmap`) and `--emit-json DIR` (write each table as `BENCH_<figure>.json`
+//! for the CI baseline diff performed by the `bench_diff` binary). See
+//! [`cli`] and [`emit`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +28,11 @@ pub mod metrics;
 pub mod runner;
 pub mod workloads;
 
-pub use cli::BenchArgs;
-pub use emit::{compare_figures, read_figure, table_to_series, write_figure, FigureSeries};
+pub use cli::{materialize_backend, BenchArgs};
+pub use emit::{
+    compare_figures, compare_figures_with_tolerance, read_figure, table_to_series, write_figure,
+    FigureSeries,
+};
 pub use metrics::{MethodMeasurement, MethodSeries};
 pub use runner::{
     measure_iterative, measure_method, measure_method_threaded, print_table, ExperimentTable,

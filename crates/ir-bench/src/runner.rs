@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn measure_method_produces_sane_averages() {
         let (engine, workload) = BenchDataset::Wsj
-            .prepare_engine(Scale::Smoke, 2, 5, 2, 1)
+            .prepare_engine(Scale::Smoke, 2, 5, 2, 1, ir_storage::BackendKind::Mem)
             .unwrap();
         let scan = measure_method(
             &engine,
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn threaded_measurements_are_worker_count_invariant() {
         let (engine, workload) = BenchDataset::St
-            .prepare_engine(Scale::Smoke, 2, 5, 3, 2)
+            .prepare_engine(Scale::Smoke, 2, 5, 3, 2, ir_storage::BackendKind::Mem)
             .unwrap();
         let two = measure_method_threaded(
             &engine,

@@ -6,7 +6,7 @@ use ir_datagen::{
     CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator, QueryWorkload,
     TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
 };
-use ir_storage::TopKIndex;
+use ir_storage::{BackendKind, TopKIndex};
 use ir_types::{Dataset, IrResult};
 
 /// Dataset scale, selected with the `IR_BENCH_SCALE` environment variable.
@@ -104,19 +104,18 @@ impl BenchDataset {
         }
     }
 
-    /// Builds the index plus a workload of `num_queries` queries with the
-    /// given `qlen` and `k`.
-    pub fn prepare(
+    /// The standard workload of `num_queries` queries over `dataset` with
+    /// the given `qlen` and `k` (the seeded generation every runner and
+    /// bench shares).
+    pub fn workload_for(
         &self,
-        scale: Scale,
+        dataset: &Dataset,
         qlen: usize,
         k: usize,
         num_queries: usize,
-    ) -> IrResult<(TopKIndex, QueryWorkload)> {
-        let dataset = self.generate(scale);
-        let index = TopKIndex::build_in_memory(&dataset)?;
-        let workload = QueryWorkload::generate(
-            &dataset,
+    ) -> IrResult<QueryWorkload> {
+        QueryWorkload::generate(
+            dataset,
             &WorkloadConfig {
                 qlen,
                 k,
@@ -127,13 +126,29 @@ impl BenchDataset {
                 equal_weights: false,
             },
             0xBEEF,
-        )?;
+        )
+    }
+
+    /// Builds the (in-memory) index plus a workload of `num_queries`
+    /// queries with the given `qlen` and `k`.
+    pub fn prepare(
+        &self,
+        scale: Scale,
+        qlen: usize,
+        k: usize,
+        num_queries: usize,
+    ) -> IrResult<(TopKIndex, QueryWorkload)> {
+        let dataset = self.generate(scale);
+        let index = TopKIndex::build_in_memory(&dataset)?;
+        let workload = self.workload_for(&dataset, qlen, k, num_queries)?;
         Ok((index, workload))
     }
 
     /// Like [`BenchDataset::prepare`], but wrapping the index into an
-    /// [`IrEngine`] with `threads` batch workers — the front door every
-    /// figure runner serves its workload through.
+    /// [`IrEngine`] with `threads` batch workers on the requested storage
+    /// backend — the front door every figure runner serves its workload
+    /// through. File and mmap backends build onto a scratch page directory
+    /// (see [`crate::cli::materialize_backend`]).
     pub fn prepare_engine(
         &self,
         scale: Scale,
@@ -141,9 +156,19 @@ impl BenchDataset {
         k: usize,
         num_queries: usize,
         threads: usize,
+        backend: BackendKind,
     ) -> EngineResult<(IrEngine, QueryWorkload)> {
-        let (index, workload) = self.prepare(scale, qlen, k, num_queries)?;
-        let engine = IrEngine::builder().index(index).threads(threads).build()?;
+        let dataset = self.generate(scale);
+        let workload = self.workload_for(&dataset, qlen, k, num_queries)?;
+        let (storage, scratch) = crate::cli::materialize_backend(backend)?;
+        let engine = IrEngine::builder()
+            .dataset_ref(&dataset)
+            .backend(storage)
+            .threads(threads)
+            .build()?;
+        // The scratch guard may drop now: the store holds its descriptor to
+        // the (unlinked) page file for the engine's lifetime.
+        drop(scratch);
         Ok((engine, workload))
     }
 
@@ -175,5 +200,25 @@ mod tests {
     fn scale_from_env_defaults_to_smoke() {
         std::env::remove_var("IR_BENCH_SCALE");
         assert_eq!(Scale::from_env(), Scale::Smoke);
+    }
+
+    #[test]
+    fn prepare_engine_serves_from_any_backend() {
+        let mut backends = vec![BackendKind::Mem, BackendKind::File];
+        if cfg!(feature = "mmap") {
+            backends.push(BackendKind::Mmap);
+        }
+        let mut reports = Vec::new();
+        for backend in backends {
+            let (engine, workload) = BenchDataset::St
+                .prepare_engine(Scale::Smoke, 2, 5, 2, 1, backend)
+                .unwrap();
+            assert_eq!(engine.backend_kind(), backend);
+            reports.push(engine.query(&workload.queries()[0]).unwrap());
+        }
+        // Identical output regardless of the backend.
+        for other in &reports[1..] {
+            assert_eq!(reports[0].dims, other.dims);
+        }
     }
 }

@@ -17,8 +17,11 @@ use crate::pagestore::{FilePageStore, MemPageStore, PageStore};
 use crate::stats::{IoConfig, IoStatsSnapshot};
 use crate::tuplestore::{write_tuples, TupleReader, TupleRegion};
 use ir_types::{Dataset, DimId, IrError, IrResult, SparseVector, TupleId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// Which device backs the page store.
@@ -27,8 +30,76 @@ pub enum StorageBackend {
     /// Pages in memory (default); I/O is still accounted at page granularity.
     #[default]
     Memory,
-    /// Pages in a flat file under the given directory (`index.pages`).
+    /// Pages in a flat file under the given directory (`index.pages`),
+    /// accessed with positioned reads.
     Disk(PathBuf),
+    /// Pages in a flat file under the given directory (`index.pages`),
+    /// served from a read-only memory mapping.
+    ///
+    /// The variant always exists so callers (CLI flags, engine policies) can
+    /// name it unconditionally, but *building* an index with it requires the
+    /// `mmap` cargo feature — without it [`IndexBuilder::build`] returns a
+    /// descriptive [`IrError::Storage`]. The default build stays free of
+    /// `unsafe` code.
+    Mmap(PathBuf),
+}
+
+impl StorageBackend {
+    /// The path-free classification of this backend.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            StorageBackend::Memory => BackendKind::Mem,
+            StorageBackend::Disk(_) => BackendKind::File,
+            StorageBackend::Mmap(_) => BackendKind::Mmap,
+        }
+    }
+}
+
+/// The path-free classification of a [`StorageBackend`] — what CLI flags
+/// parse, what engine policies record, and what `BENCH_*.json` metadata is
+/// stamped with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// [`MemPageStore`] (the default).
+    #[default]
+    Mem,
+    /// [`FilePageStore`] (positioned reads on a flat file).
+    File,
+    /// `MmapPageStore` (requires the `mmap` cargo feature).
+    Mmap,
+}
+
+impl BackendKind {
+    /// All kinds, in CLI presentation order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Mem, BackendKind::File, BackendKind::Mmap];
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Mem => "mem",
+            BackendKind::File => "file",
+            BackendKind::Mmap => "mmap",
+        })
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = IrError;
+
+    /// Case-insensitive, so both the CLI spellings (`mmap`) and the
+    /// serialized variant names (`Mmap`, as stamped into `BENCH_*.json`
+    /// policy metadata) parse.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mem" | "memory" => Ok(BackendKind::Mem),
+            "file" | "disk" => Ok(BackendKind::File),
+            "mmap" => Ok(BackendKind::Mmap),
+            other => Err(IrError::Storage(format!(
+                "unknown storage backend `{other}` (expected mem, file or mmap)"
+            ))),
+        }
+    }
 }
 
 /// Builder for [`TopKIndex`].
@@ -82,6 +153,7 @@ impl IndexBuilder {
                 std::fs::create_dir_all(dir)?;
                 Arc::new(FilePageStore::create(dir.join("index.pages"))?)
             }
+            StorageBackend::Mmap(dir) => mmap_store(dir)?,
         };
         let pool = Arc::new(BufferPool::with_capacity(store, self.pool_capacity));
 
@@ -119,6 +191,7 @@ impl IndexBuilder {
             cardinality: dataset.cardinality(),
             dimensionality: dataset.dimensionality(),
             io_config: self.io_config,
+            backend_kind: self.backend.kind(),
         })
     }
 
@@ -129,6 +202,25 @@ impl IndexBuilder {
     }
 }
 
+/// Builds the mmap-backed store when the feature is compiled in.
+#[cfg(feature = "mmap")]
+fn mmap_store(dir: &Path) -> IrResult<Arc<dyn PageStore>> {
+    std::fs::create_dir_all(dir)?;
+    Ok(Arc::new(crate::mmap::MmapPageStore::create(
+        dir.join("index.pages"),
+    )?))
+}
+
+/// Without the `mmap` feature, selecting the backend is a descriptive error
+/// (the default build contains no `unsafe` mapping code at all).
+#[cfg(not(feature = "mmap"))]
+fn mmap_store(_dir: &Path) -> IrResult<Arc<dyn PageStore>> {
+    Err(IrError::Storage(
+        "the mmap storage backend requires building ir-storage with the `mmap` cargo feature"
+            .to_string(),
+    ))
+}
+
 /// The physical top-k index: inverted lists + tuple file + buffer pool.
 pub struct TopKIndex {
     pool: Arc<BufferPool>,
@@ -137,6 +229,7 @@ pub struct TopKIndex {
     cardinality: usize,
     dimensionality: u32,
     io_config: IoConfig,
+    backend_kind: BackendKind,
 }
 
 impl TopKIndex {
@@ -158,6 +251,11 @@ impl TopKIndex {
     /// The I/O latency model configured for this index.
     pub fn io_config(&self) -> IoConfig {
         self.io_config
+    }
+
+    /// Which page-store backend this index was built on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
     }
 
     /// The buffer pool (shared with cursors and readers).
@@ -209,6 +307,13 @@ impl TopKIndex {
     /// Snapshot of the I/O counters accumulated since the last reset.
     pub fn io_snapshot(&self) -> IoStatsSnapshot {
         self.pool.io_snapshot()
+    }
+
+    /// Snapshot of the page store's own device-level counters (syscalls,
+    /// page-fault equivalents — see
+    /// [`PageStore::io_snapshot`](crate::pagestore::PageStore)).
+    pub fn store_io_snapshot(&self) -> IoStatsSnapshot {
+        self.pool.store_io_snapshot()
     }
 
     /// Snapshot of the calling thread's own I/O shard (per-worker
@@ -309,5 +414,70 @@ mod tests {
             assert_eq!(&index.fetch_tuple(id).unwrap(), tuple);
         }
         assert!(dir.path().join("index.pages").exists());
+        assert_eq!(index.backend_kind(), BackendKind::File);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        for (text, kind) in [
+            ("mem", BackendKind::Mem),
+            ("memory", BackendKind::Mem),
+            ("file", BackendKind::File),
+            ("disk", BackendKind::File),
+            ("mmap", BackendKind::Mmap),
+            // The serialized variant spellings (BENCH_*.json policy
+            // metadata) parse too: FromStr is case-insensitive.
+            ("Mem", BackendKind::Mem),
+            ("File", BackendKind::File),
+            ("Mmap", BackendKind::Mmap),
+        ] {
+            assert_eq!(text.parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("floppy".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Mmap.to_string(), "mmap");
+        assert_eq!(
+            StorageBackend::Mmap(PathBuf::from("/tmp/x")).kind(),
+            BackendKind::Mmap
+        );
+        // Display is the canonical spelling: it must parse back.
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+        }
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_backend_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let dataset = Dataset::running_example();
+        let index = IndexBuilder::new()
+            .backend(StorageBackend::Mmap(dir.path().to_path_buf()))
+            .pool_capacity(2)
+            .build(&dataset)
+            .unwrap();
+        // Build-time store traffic is wiped with the pool counters: queries
+        // start from a clean slate on every backend.
+        assert_eq!(index.store_io_snapshot(), IoStatsSnapshot::default());
+        for (id, tuple) in dataset.iter() {
+            assert_eq!(&index.fetch_tuple(id).unwrap(), tuple);
+        }
+        assert!(dir.path().join("index.pages").exists());
+        assert_eq!(index.backend_kind(), BackendKind::Mmap);
+        assert!(index.store_io_snapshot().logical_reads > 0);
+    }
+
+    #[cfg(not(feature = "mmap"))]
+    #[test]
+    fn mmap_backend_errors_without_the_feature() {
+        let dir = tempfile::tempdir().unwrap();
+        let err = IndexBuilder::new()
+            .backend(StorageBackend::Mmap(dir.path().to_path_buf()))
+            .build(&Dataset::running_example())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("mmap"),
+            "error must name the missing feature: {err}"
+        );
     }
 }

@@ -49,12 +49,15 @@ pub fn thread_stats_shard() -> usize {
     })
 }
 
-/// Mutable, thread-safe I/O counters owned by a [`crate::BufferPool`].
+/// Mutable, thread-safe I/O counters owned by a [`crate::BufferPool`] (and,
+/// since the backend matrix landed, by every
+/// [`PageStore`](crate::pagestore::PageStore) for device-level accounting).
 #[derive(Debug, Default)]
 pub struct IoStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     pages_written: AtomicU64,
+    read_syscalls: AtomicU64,
 }
 
 /// An immutable snapshot of the counters, suitable for diffing before/after a
@@ -67,6 +70,13 @@ pub struct IoStatsSnapshot {
     pub physical_reads: u64,
     /// Pages written back to the page store.
     pub pages_written: u64,
+    /// Read system calls actually issued to the OS. Always zero at
+    /// buffer-pool level (the pool never talks to the OS itself); at page-
+    /// store level it is one positioned read per page for the file store
+    /// (previously two — seek then read — before the `read_at` switch, which
+    /// this counter makes visible), one `mmap(2)` (re)establishment per
+    /// mapping for the mmap store, and zero for the memory store.
+    pub read_syscalls: u64,
 }
 
 impl IoStats {
@@ -93,12 +103,19 @@ impl IoStats {
         self.pages_written.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a read system call issued to the OS.
+    #[inline]
+    pub fn record_read_syscall(&self) {
+        self.read_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             pages_written: self.pages_written.load(Ordering::Relaxed),
+            read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +124,7 @@ impl IoStats {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.pages_written.store(0, Ordering::Relaxed);
+        self.read_syscalls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +190,12 @@ impl ShardedIoStats {
         self.shard().record_write();
     }
 
+    /// Records a read system call in the calling thread's shard.
+    #[inline]
+    pub fn record_read_syscall(&self) {
+        self.shard().record_read_syscall();
+    }
+
     /// The merged snapshot: counter-wise sum over every shard.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         self.shards
@@ -206,6 +230,7 @@ impl IoStatsSnapshot {
             logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+            read_syscalls: self.read_syscalls.saturating_sub(earlier.read_syscalls),
         }
     }
 
@@ -215,6 +240,7 @@ impl IoStatsSnapshot {
             logical_reads: self.logical_reads + other.logical_reads,
             physical_reads: self.physical_reads + other.physical_reads,
             pages_written: self.pages_written + other.pages_written,
+            read_syscalls: self.read_syscalls + other.read_syscalls,
         }
     }
 }
@@ -268,10 +294,12 @@ mod tests {
         stats.record_logical_read();
         stats.record_physical_read();
         stats.record_write();
+        stats.record_read_syscall();
         let snap = stats.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.pages_written, 1);
+        assert_eq!(snap.read_syscalls, 1);
         stats.reset();
         assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
     }
@@ -282,16 +310,19 @@ mod tests {
             logical_reads: 10,
             physical_reads: 4,
             pages_written: 1,
+            read_syscalls: 4,
         };
         let b = IoStatsSnapshot {
             logical_reads: 25,
             physical_reads: 9,
             pages_written: 1,
+            read_syscalls: 9,
         };
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 15);
         assert_eq!(d.physical_reads, 5);
         assert_eq!(d.pages_written, 0);
+        assert_eq!(d.read_syscalls, 5);
         let s = a.plus(&d);
         assert_eq!(s, b);
         // `since` saturates rather than underflowing.
@@ -347,6 +378,7 @@ mod tests {
             logical_reads: 100,
             physical_reads: 10,
             pages_written: 0,
+            read_syscalls: 10,
         };
         assert_eq!(cfg.simulated_io_time(&snap), Duration::from_millis(50));
         assert_eq!(
