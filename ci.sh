@@ -12,27 +12,32 @@
 #                          forbid(unsafe_code) is in force for every crate
 #                          when `mmap` is off and that no `unsafe` exists
 #                          outside the one mmap module
-#   5. api docs          — cargo doc --no-deps with rustdoc warnings as
+#   5. robustness        — the chaos integration suite (seeded fault plans
+#                          against every backend and thread count) in both
+#                          the default and the `mmap` feature config, plus
+#                          a clippy gate that denies unwrap/expect in the
+#                          non-test code of ir-storage and ir-core
+#   6. api docs          — cargo doc --no-deps with rustdoc warnings as
 #                          errors, so the public API (the IrEngine façade
 #                          in particular) stays fully documented
-#   6. bench compilation — the criterion benches must at least build
-#   7. example smoke     — every example and figure runner runs to
+#   7. bench compilation — the criterion benches must at least build
+#   8. example smoke     — every example and figure runner runs to
 #                          completion sequentially (mem backend), emitting
-#                          BENCH series for the backend matrix of stage 9
-#   8. parallel smoke    — every figure runner again at --threads 2, so the
+#                          BENCH series for the backend matrix of stage 10
+#   9. parallel smoke    — every figure runner again at --threads 2, so the
 #                          parallel execution layer is exercised in CI; the
 #                          table runners emit BENCH_<figure>.json series
-#   9. backend matrix    — every figure runner with --backend mmap at
+#  10. backend matrix    — every figure runner with --backend mmap at
 #                          --threads 1 and 2 plus --backend file at
 #                          --threads 2; the emitted deterministic metrics
 #                          must match the mem-backend emissions of stages
-#                          7/8 *exactly* (bench_diff --exact; io/timing
+#                          8/9 *exactly* (bench_diff --exact; io/timing
 #                          counters that legitimately differ are never
 #                          compared) and the committed baseline within
 #                          tolerance; the policy stamps are asserted so a
 #                          backend-selection regression cannot make the
 #                          matrix pass vacuously
-#  10. bench baseline    — bench_diff compares the stage-8 series against
+#  11. bench baseline    — bench_diff compares the stage-9 series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -68,21 +73,21 @@ RUNNER_BINS=(figure06_partitions figure10_wsj_qlen figure11_st_qlen
 
 MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap"
 
-begin_stage "1/10 cargo fmt --check"
+begin_stage "1/11 cargo fmt --check"
 cargo fmt --all --check
 end_stage
 
-begin_stage "2/10 cargo clippy (default + mmap), warnings are errors"
+begin_stage "2/11 cargo clippy (default + mmap), warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features "$MMAP_FEATURES" -- -D warnings
 end_stage
 
-begin_stage "3/10 tier-1: cargo build --release && cargo test -q"
+begin_stage "3/11 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 end_stage
 
-begin_stage "4/10 feature matrix + no-unsafe assertions"
+begin_stage "4/11 feature matrix + no-unsafe assertions"
 for crate in ir-storage immutable-regions; do
     for flags in "--no-default-features" "" "--features mmap"; do
         printf -- '--- %s %s\n' "$crate" "${flags:-"(default)"}"
@@ -121,7 +126,21 @@ fi
 echo "no-unsafe assertions hold"
 end_stage
 
-begin_stage "5/10 cargo doc --no-deps (rustdoc warnings are errors)"
+begin_stage "5/11 robustness: chaos suite + unwrap/expect lint gate"
+# The chaos suite injects seeded faults (transients, outages, corruption,
+# worker panics) into every backend at 1/2/8 workers and asserts typed
+# errors, byte-identical recovery and a serviceable engine afterwards.
+cargo test -q -p immutable-regions --test chaos
+cargo test -q -p immutable-regions --features mmap --test chaos
+# Non-test code in the storage and compute layers must not panic on
+# fallible paths: deny unwrap/expect outright (tests keep using them).
+cargo clippy -q --no-deps -p ir-storage -p ir-core --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+cargo clippy -q --no-deps -p ir-storage --features mmap --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+end_stage
+
+begin_stage "6/11 cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
     -p ir-datagen -p ir-bench -p immutable-regions
@@ -129,7 +148,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-storage --features mmap
 end_stage
 
-begin_stage "6/10 benches compile"
+begin_stage "7/11 benches compile"
 cargo bench --no-run
 end_stage
 
@@ -140,7 +159,7 @@ emit_dir_mmap_t2="$(mktemp -d)"
 emit_dir_file_t2="$(mktemp -d)"
 trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" "$emit_dir_file_t2"' EXIT
 
-begin_stage "7/10 example + figure-runner smoke loop (sequential, mem)"
+begin_stage "8/11 example + figure-runner smoke loop (sequential, mem)"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -154,7 +173,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "8/10 figure runners at --threads 2 (parallel path) + JSON emission"
+begin_stage "9/11 figure runners at --threads 2 (parallel path) + JSON emission"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
@@ -162,7 +181,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "9/10 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
+begin_stage "10/11 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (mmap, threads=1): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
@@ -202,7 +221,7 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_mmap_t2"
 end_stage
 
-begin_stage "10/10 bench_diff against committed baseline"
+begin_stage "11/11 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_t2"
 end_stage

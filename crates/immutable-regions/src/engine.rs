@@ -38,12 +38,16 @@ use ir_core::{
     BatchOutcome, BatchRegionComputation, OwnedRegionComputation, RegionComputation, RegionConfig,
     RegionReport,
 };
-use ir_storage::{BackendKind, IndexBuilder, IoConfig, StorageBackend, TopKIndex};
+use ir_storage::{
+    BackendKind, FaultPlan, IndexBuilder, IoConfig, RetryPolicy, StorageBackend, TopKIndex,
+};
 use ir_topk::TaConfig;
 use ir_types::{Dataset, DimId, IrError, QueryVector, TopKResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Result alias for engine operations.
@@ -144,8 +148,8 @@ impl From<IrError> for EngineError {
 /// Deserialization is strict — every field must be present (the vendored
 /// serde has no `#[serde(default)]`), so policy JSON written before a field
 /// existed must be refreshed; the committed bench baselines were
-/// regenerated when `backend` was added.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// regenerated when `backend` was added and again when `fault_plan` was.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EnginePolicy {
     /// Default region configuration (algorithm, φ, perturbation mode).
     pub config: RegionConfig,
@@ -160,6 +164,13 @@ pub struct EnginePolicy {
     /// [`IrEngineBuilder::backend`] / [`IrEngineBuilder::on_disk`] /
     /// [`IrEngineBuilder::on_mmap`].
     pub backend: BackendKind,
+    /// The fault plan the engine's storage device executes, if any
+    /// (`null`/`None` — the default — means a well-behaved device).
+    ///
+    /// Unlike `backend` this field *is* applied by
+    /// [`IrEngineBuilder::policy`]: a policy file describing a
+    /// chaos-testing configuration is enough to reproduce it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EnginePolicy {
@@ -168,6 +179,7 @@ impl Default for EnginePolicy {
             config: RegionConfig::default(),
             threads: 1,
             backend: BackendKind::Mem,
+            fault_plan: None,
         }
     }
 }
@@ -216,6 +228,8 @@ pub struct IrEngineBuilder<'d> {
     backend: StorageBackend,
     pool_capacity: Option<usize>,
     io_config: Option<IoConfig>,
+    retry_policy: Option<RetryPolicy>,
+    fault_plan: Option<FaultPlan>,
     storage_knobs_set: bool,
     config: RegionConfig,
     ta_config: TaConfig,
@@ -229,6 +243,8 @@ impl Default for IrEngineBuilder<'_> {
             backend: StorageBackend::Memory,
             pool_capacity: None,
             io_config: None,
+            retry_policy: None,
+            fault_plan: None,
             storage_knobs_set: false,
             config: RegionConfig::default(),
             ta_config: TaConfig::default(),
@@ -306,6 +322,25 @@ impl<'d> IrEngineBuilder<'d> {
         self
     }
 
+    /// Sets the buffer pool's retry policy for transient storage faults
+    /// (default: [`RetryPolicy::default`] — 3 attempts with deterministic
+    /// exponential backoff).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self.storage_knobs_set = true;
+        self
+    }
+
+    /// Wraps the engine's page store in a fault-injecting proxy executing
+    /// `plan` (see [`FaultPlan`]). The injector is armed only *after* the
+    /// index is built, so faults strike served queries rather than the
+    /// build itself.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self.storage_knobs_set = true;
+        self
+    }
+
     /// Sets the default region configuration queries run with (overridable
     /// per call via [`IrEngine::query_with`]).
     pub fn config(mut self, config: RegionConfig) -> Self {
@@ -327,12 +362,16 @@ impl<'d> IrEngineBuilder<'d> {
         self
     }
 
-    /// Applies a whole [`EnginePolicy`]: the default config and the worker
-    /// count. The policy's `backend` field is *not* applied — it is
-    /// descriptive metadata (a file/mmap backend needs a path; see
-    /// [`EnginePolicy::backend`]).
+    /// Applies a whole [`EnginePolicy`]: the default config, the worker
+    /// count and (when present) the fault plan. The policy's `backend`
+    /// field is *not* applied — it is descriptive metadata (a file/mmap
+    /// backend needs a path; see [`EnginePolicy::backend`]).
     pub fn policy(self, policy: EnginePolicy) -> Self {
-        self.config(policy.config).threads(policy.threads)
+        let builder = self.config(policy.config).threads(policy.threads);
+        match policy.fault_plan {
+            Some(plan) => builder.fault_plan(plan),
+            None => builder,
+        }
     }
 
     /// Loads the engine policy from a JSON file (see
@@ -349,6 +388,8 @@ impl<'d> IrEngineBuilder<'d> {
             backend,
             pool_capacity,
             io_config,
+            retry_policy,
+            fault_plan,
             storage_knobs_set,
             config,
             ta_config,
@@ -358,12 +399,15 @@ impl<'d> IrEngineBuilder<'d> {
             if dataset.cardinality() == 0 {
                 return Err(EngineError::EmptyDataset);
             }
-            let mut builder = IndexBuilder::new().backend(backend);
+            let mut builder = IndexBuilder::new().backend(backend).fault_plan(fault_plan);
             if let Some(pages) = pool_capacity {
                 builder = builder.pool_capacity(pages);
             }
             if let Some(io_config) = io_config {
                 builder = builder.io_config(io_config);
+            }
+            if let Some(retry) = retry_policy {
+                builder = builder.retry_policy(retry);
             }
             Ok(builder.build_shared(dataset)?)
         };
@@ -390,7 +434,55 @@ impl<'d> IrEngineBuilder<'d> {
             config,
             ta_config,
             threads,
+            health: Arc::new(EngineHealth::default()),
         })
+    }
+}
+
+/// Cumulative failure accounting shared by every handle onto one engine
+/// (clones, [`IrEngine::with_config`], subscriptions). Interior-mutable so
+/// `&self` query paths can record outcomes.
+#[derive(Debug, Default)]
+struct EngineHealth {
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    worker_panics: AtomicU64,
+    corruption_errors: AtomicU64,
+    retries_exhausted: AtomicU64,
+}
+
+/// A point-in-time view of an engine's cumulative health counters
+/// ([`IrEngine::health`]).
+///
+/// The first five counters track engine *operations* (a batch counts once);
+/// the retry counters come from the buffer pool's I/O accounting and count
+/// individual retried page transfers. All counters are cumulative since the
+/// engine was built, except the retry counters which
+/// [`IrEngine::cold_start`] resets along with the rest of the I/O stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineHealthSnapshot {
+    /// Operations (queries, batches, subscription refreshes) that succeeded.
+    pub queries_ok: u64,
+    /// Operations that returned an error of any kind.
+    pub queries_failed: u64,
+    /// Failed operations whose error was [`IrError::WorkerPanicked`] — a
+    /// contained panic, in a worker or caught at the engine boundary.
+    pub worker_panics: u64,
+    /// Failed operations whose error was [`IrError::Corruption`].
+    pub corruption_errors: u64,
+    /// Failed operations whose error was [`IrError::RetryExhausted`].
+    pub retries_exhausted: u64,
+    /// Page reads that needed at least one retry (transient faults healed
+    /// invisibly by the pool's [`RetryPolicy`]).
+    pub read_retries: u64,
+    /// Page writes that needed at least one retry.
+    pub write_retries: u64,
+}
+
+impl EngineHealthSnapshot {
+    /// `true` while the engine has never seen a failed operation.
+    pub fn is_unblemished(&self) -> bool {
+        self.queries_failed == 0
     }
 }
 
@@ -407,6 +499,7 @@ pub struct IrEngine {
     config: RegionConfig,
     ta_config: TaConfig,
     threads: usize,
+    health: Arc<EngineHealth>,
 }
 
 impl fmt::Debug for IrEngine {
@@ -416,6 +509,7 @@ impl fmt::Debug for IrEngine {
             .field("dimensionality", &self.index.dimensionality())
             .field("config", &self.config)
             .field("threads", &self.threads)
+            .field("health", &self.health())
             .finish()
     }
 }
@@ -442,14 +536,74 @@ impl IrEngine {
         self.threads
     }
 
-    /// The engine's serializable policy (default config, worker count and
-    /// the backend the index was built on).
+    /// The engine's serializable policy (default config, worker count, the
+    /// backend the index was built on and the fault plan its device
+    /// executes, if any).
     pub fn policy(&self) -> EnginePolicy {
         EnginePolicy {
             config: self.config,
             threads: self.threads,
             backend: self.index.backend_kind(),
+            fault_plan: self.index.fault_plan().cloned(),
         }
+    }
+
+    /// Cumulative health counters: operations served and failed (by
+    /// failure class) plus the pool's retry counts. Shared by every handle
+    /// onto the same engine.
+    pub fn health(&self) -> EngineHealthSnapshot {
+        let io = self.index.io_snapshot();
+        EngineHealthSnapshot {
+            queries_ok: self.health.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.health.queries_failed.load(Ordering::Relaxed),
+            worker_panics: self.health.worker_panics.load(Ordering::Relaxed),
+            corruption_errors: self.health.corruption_errors.load(Ordering::Relaxed),
+            retries_exhausted: self.health.retries_exhausted.load(Ordering::Relaxed),
+            read_retries: io.read_retries,
+            write_retries: io.write_retries,
+        }
+    }
+
+    /// Runs one engine operation with failure containment: panics anywhere
+    /// below (a poisoned solver, an injected device panic) are caught at
+    /// this boundary and surfaced as typed
+    /// [`IrError::WorkerPanicked`] errors, and the outcome — success or any
+    /// failure, classified — is recorded in the engine's health counters.
+    /// The engine stays fully serviceable afterwards: all shared state is
+    /// lock-free or uses non-poisoning locks.
+    fn run_guarded<T>(&self, job: &str, op: impl FnOnce() -> EngineResult<T>) -> EngineResult<T> {
+        let result = match catch_unwind(AssertUnwindSafe(op)) {
+            Ok(result) => result,
+            Err(payload) => Err(EngineError::Core(IrError::WorkerPanicked {
+                job: job.to_string(),
+                message: ir_core::parallel::panic_message(payload.as_ref()),
+            })),
+        };
+        match &result {
+            Ok(_) => {
+                self.health.queries_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => {
+                self.health.queries_failed.fetch_add(1, Ordering::Relaxed);
+                match err {
+                    EngineError::Core(IrError::WorkerPanicked { .. }) => {
+                        self.health.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                    EngineError::Core(IrError::Corruption { .. }) => {
+                        self.health
+                            .corruption_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    EngineError::Core(IrError::RetryExhausted { .. }) => {
+                        self.health
+                            .retries_exhausted
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        result
     }
 
     /// Which page-store backend the engine serves from.
@@ -508,6 +662,17 @@ impl IrEngine {
         query: &QueryVector,
         config: RegionConfig,
     ) -> EngineResult<OwnedRegionComputation> {
+        self.run_guarded("computation", || self.computation_untracked(query, config))
+    }
+
+    /// The unguarded body of [`IrEngine::computation_with`], for composite
+    /// operations that wrap a larger region in one [`IrEngine::run_guarded`]
+    /// scope (so each operation is counted exactly once).
+    fn computation_untracked(
+        &self,
+        query: &QueryVector,
+        config: RegionConfig,
+    ) -> EngineResult<OwnedRegionComputation> {
         self.validate(query)?;
         Ok(RegionComputation::with_ta_config_shared(
             Arc::clone(&self.index),
@@ -530,8 +695,10 @@ impl IrEngine {
         query: &QueryVector,
         config: RegionConfig,
     ) -> EngineResult<RegionReport> {
-        let mut computation = self.computation_with(query, config)?;
-        Ok(computation.compute()?)
+        self.run_guarded("query", || {
+            let mut computation = self.computation_untracked(query, config)?;
+            Ok(computation.compute()?)
+        })
     }
 
     /// Convenience: builds the query from `(dimension, weight)` pairs and
@@ -557,25 +724,30 @@ impl IrEngine {
     /// [`IrEngine::query_batch`], also returning per-worker I/O tallies and
     /// the batch wall-clock time.
     pub fn query_batch_detailed(&self, queries: &[QueryVector]) -> EngineResult<BatchOutcome> {
-        for query in queries {
-            self.validate(query)?;
-        }
-        let batch = BatchRegionComputation::new_shared(Arc::clone(&self.index), self.config)
-            .with_threads(self.threads)
-            .with_ta_config(self.ta_config);
-        Ok(batch.run_detailed(queries)?)
+        self.run_guarded("query batch", || {
+            for query in queries {
+                self.validate(query)?;
+            }
+            let batch = BatchRegionComputation::new_shared(Arc::clone(&self.index), self.config)
+                .with_threads(self.threads)
+                .with_ta_config(self.ta_config);
+            Ok(batch.run_detailed(queries)?)
+        })
     }
 
     /// Subscribes a query: computes its result and regions once and returns
     /// a [`Subscription`] that answers weight-drift questions from the
     /// cached report, recomputing only on region exit.
     pub fn subscribe(&self, query: QueryVector) -> EngineResult<Subscription> {
-        let mut computation = self.computation(&query)?;
-        let report = computation.compute()?;
+        let (result, report) = self.run_guarded("subscribe", || {
+            let mut computation = self.computation_untracked(&query, self.config)?;
+            let report = computation.compute()?;
+            Ok((computation.result(), report))
+        })?;
         Ok(Subscription {
             engine: self.clone(),
             query,
-            result: computation.result(),
+            result,
             report,
             refreshes: 0,
             cache_hits: 0,
@@ -684,14 +856,22 @@ impl Subscription {
     /// `Ok(false)` while the weights stay inside the reported region, a
     /// recompute (re-anchoring the subscription at `new_weights`) returning
     /// `Ok(true)` once they leave it.
+    /// A failed refresh (fault, contained panic) leaves the subscription
+    /// anchored at its previous query with the previous cached report — the
+    /// caller can retry `update` once the device heals.
     pub fn update(&mut self, new_weights: &QueryVector) -> EngineResult<bool> {
         if self.is_immutable_under(new_weights) {
             self.cache_hits += 1;
             return Ok(false);
         }
-        let mut computation = self.engine.computation(new_weights)?;
-        self.report = computation.compute()?;
-        self.result = computation.result();
+        let engine = self.engine.clone();
+        let (result, report) = engine.run_guarded("subscription refresh", || {
+            let mut computation = engine.computation_untracked(new_weights, engine.config)?;
+            let report = computation.compute()?;
+            Ok((computation.result(), report))
+        })?;
+        self.report = report;
+        self.result = result;
         self.query = new_weights.clone();
         self.refreshes += 1;
         Ok(true)
@@ -775,6 +955,7 @@ mod tests {
             config: RegionConfig::with_phi(ir_core::Algorithm::Prune, 3).composition_only(),
             threads: 4,
             backend: BackendKind::Mmap,
+            fault_plan: Some(FaultPlan::transient_reads(7, 3, 100)),
         };
         let json = policy.to_json();
         assert_eq!(EnginePolicy::from_json(&json).unwrap(), policy);
@@ -782,6 +963,76 @@ mod tests {
             EnginePolicy::from_json("not json"),
             Err(EngineError::Policy(_))
         ));
+        // The default policy stamps an explicit null — the stable shape the
+        // committed bench baselines rely on.
+        assert!(
+            EnginePolicy::default()
+                .to_json()
+                .contains("\"fault_plan\":null"),
+            "{}",
+            EnginePolicy::default().to_json()
+        );
+    }
+
+    #[test]
+    fn health_counts_and_classifies_outcomes() {
+        let engine = engine();
+        assert_eq!(engine.health(), EngineHealthSnapshot::default());
+        let _ = engine.query(&QueryVector::running_example()).unwrap();
+        // k too large: a failed operation, but not a storage-failure class.
+        let big_k = QueryVector::running_example().with_k(100).unwrap();
+        assert!(engine.query(&big_k).is_err());
+        let health = engine.health();
+        assert_eq!(health.queries_ok, 1);
+        assert_eq!(health.queries_failed, 1);
+        assert_eq!(health.worker_panics, 0);
+        assert_eq!(health.corruption_errors, 0);
+        assert_eq!(health.retries_exhausted, 0);
+        assert!(!health.is_unblemished());
+        // Handles share the same counters.
+        assert_eq!(engine.clone().health(), health);
+    }
+
+    #[test]
+    fn fault_plan_flows_from_policy_to_device_and_back() {
+        let plan = FaultPlan::device_outage(2, None);
+        let policy = EnginePolicy {
+            fault_plan: Some(plan.clone()),
+            ..EnginePolicy::default()
+        };
+        let chaos = IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .policy(policy)
+            .build()
+            .unwrap();
+        assert_eq!(chaos.policy().fault_plan.as_ref(), Some(&plan));
+        assert!(chaos.index().fault_injector().unwrap().is_armed());
+        // A fault-free engine stamps null.
+        assert_eq!(engine().policy().fault_plan, None);
+    }
+
+    #[test]
+    fn engine_survives_a_device_outage_and_reports_typed_errors() {
+        // Read op 0 fails permanently, everything after succeeds; no
+        // retry policy so the error surfaces directly.
+        let engine = IrEngine::builder()
+            .dataset(Dataset::running_example())
+            .fault_plan(FaultPlan::device_outage(0, Some(1)))
+            .retry_policy(RetryPolicy::none())
+            .pool_capacity(1)
+            .build()
+            .unwrap();
+        let query = QueryVector::running_example();
+        let err = engine.query(&query).map(|_| ()).unwrap_err();
+        assert!(matches!(err, EngineError::Core(_)), "{err}");
+        assert!(err.to_string().contains("injected device failure"), "{err}");
+        // The engine answers correctly on the next query.
+        let report = engine.query(&query).unwrap();
+        let d0 = report.for_dim(DimId(0)).unwrap();
+        assert!((d0.immutable.lo + 16.0 / 35.0).abs() < 1e-9);
+        let health = engine.health();
+        assert_eq!(health.queries_failed, 1);
+        assert_eq!(health.queries_ok, 1);
     }
 
     #[test]

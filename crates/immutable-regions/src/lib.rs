@@ -72,7 +72,8 @@ pub use ir_types as types;
 /// Everything needed for typical use, importable with one `use`.
 pub mod prelude {
     pub use crate::engine::{
-        EngineError, EnginePolicy, EngineResult, IrEngine, IrEngineBuilder, Subscription,
+        EngineError, EngineHealthSnapshot, EnginePolicy, EngineResult, IrEngine, IrEngineBuilder,
+        Subscription,
     };
     pub use ir_core::{
         Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats, DimRegions,
@@ -83,7 +84,9 @@ pub mod prelude {
         CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,
         QueryWorkload, TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
     };
-    pub use ir_storage::{IndexBuilder, IoConfig, StorageBackend, TopKIndex};
+    pub use ir_storage::{
+        FaultPlan, IndexBuilder, IoConfig, RetryPolicy, StorageBackend, TopKIndex,
+    };
     pub use ir_topk::{ProbeStrategy, TaConfig, TaRun};
     pub use ir_types::{
         Dataset, DatasetBuilder, DimId, IrError, IrResult, QueryBuilder, QueryVector, SparseVector,

@@ -127,6 +127,88 @@ fn zero_weight_query_is_a_typed_error() {
     assert!(matches!(err, EngineError::ZeroWeightQuery), "{err}");
 }
 
+/// Every robustness-relevant [`IrError`] variant crosses the engine
+/// boundary without loss: the request-shaped ones become their own
+/// [`EngineError`] variants, and the storage-failure ones ride through
+/// [`EngineError::Core`] with payload, message and source chain intact.
+#[test]
+fn engine_error_maps_every_core_variant_without_loss() {
+    use std::error::Error as _;
+
+    // Request-shaped errors are lifted into dedicated variants.
+    assert!(matches!(
+        EngineError::from(IrError::InvalidK {
+            k: 9,
+            cardinality: 4
+        }),
+        EngineError::KTooLarge {
+            k: 9,
+            cardinality: 4
+        }
+    ));
+    assert!(matches!(
+        EngineError::from(IrError::UnknownDimension {
+            dim: 7,
+            dimensionality: 2
+        }),
+        EngineError::DimensionNotIndexed {
+            dim: 7,
+            dimensionality: 2
+        }
+    ));
+    assert!(matches!(
+        EngineError::from(IrError::EmptyQuery),
+        EngineError::ZeroWeightQuery
+    ));
+
+    // Storage failures keep their exact typed payloads behind `Core`.
+    let corruption = EngineError::from(IrError::Corruption {
+        page: Some(3),
+        detail: "checksum mismatch".to_string(),
+    });
+    assert!(matches!(
+        &corruption,
+        EngineError::Core(IrError::Corruption { page: Some(3), .. })
+    ));
+    assert!(corruption.to_string().contains("page 3"), "{corruption}");
+
+    let panicked = EngineError::from(IrError::WorkerPanicked {
+        job: "query 4".to_string(),
+        message: "boom".to_string(),
+    });
+    assert!(matches!(
+        &panicked,
+        EngineError::Core(IrError::WorkerPanicked { .. })
+    ));
+    assert!(panicked.to_string().contains("query 4"), "{panicked}");
+
+    let oob = EngineError::from(IrError::PageOutOfBounds {
+        page: 9,
+        num_pages: 3,
+    });
+    assert!(matches!(
+        &oob,
+        EngineError::Core(IrError::PageOutOfBounds {
+            page: 9,
+            num_pages: 3
+        })
+    ));
+
+    // RetryExhausted keeps its source chain: EngineError -> IrError
+    // (exhaustion) -> IrError (the underlying transient fault).
+    let exhausted = EngineError::from(IrError::RetryExhausted {
+        attempts: 3,
+        source: Box::new(IrError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "transient".to_string(),
+        ))),
+    });
+    assert!(exhausted.to_string().contains("3 attempts"), "{exhausted}");
+    let core = exhausted.source().expect("Core keeps a source");
+    let inner = core.source().expect("RetryExhausted keeps its source");
+    assert!(inner.to_string().contains("transient"), "{inner}");
+}
+
 #[test]
 fn engine_error_display_is_informative() {
     let engine = IrEngine::builder()

@@ -61,8 +61,7 @@ fn probe_strategy_ablation(scale: Scale, args: &BenchArgs) -> EngineResult<()> {
         "dataset", "strategy", "sorted accesses", "random accesses", "|C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (engine, workload) =
-            dataset.prepare_engine(scale, 4, 10, 5, args.threads, args.backend)?;
+        let (engine, workload) = dataset.prepare_engine_for(scale, 4, 10, 5, args)?;
         for (name, strategy) in [
             ("round-robin", ProbeStrategy::RoundRobin),
             ("weighted-key", ProbeStrategy::WeightedKey),
@@ -155,8 +154,7 @@ fn phase2_pool_ablation(scale: Scale, args: &BenchArgs) -> EngineResult<()> {
         "dataset", "method", "evaluated cands/dim", "initial |C(q)|"
     );
     for dataset in [BenchDataset::Wsj, BenchDataset::Kb, BenchDataset::St] {
-        let (engine, workload) =
-            dataset.prepare_engine(scale, 4, 10, 5, args.threads, args.backend)?;
+        let (engine, workload) = dataset.prepare_engine_for(scale, 4, 10, 5, args)?;
         for algorithm in Algorithm::ALL {
             let mut evaluated = 0.0;
             let mut initial = 0usize;

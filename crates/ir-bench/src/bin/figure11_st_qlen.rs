@@ -17,14 +17,8 @@ fn main() -> EngineResult<()> {
         "qlen",
     );
     for qlen in [2usize, 4, 6, 8, 10] {
-        let (engine, workload) = BenchDataset::St.prepare_engine(
-            scale,
-            qlen,
-            10,
-            queries,
-            args.threads,
-            args.backend,
-        )?;
+        let (engine, workload) =
+            BenchDataset::St.prepare_engine_for(scale, qlen, 10, queries, &args)?;
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
                 &engine,

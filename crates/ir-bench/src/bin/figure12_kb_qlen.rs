@@ -21,14 +21,8 @@ fn main() -> EngineResult<()> {
         _ => &[2, 12, 24, 36, 48],
     };
     for &qlen in qlens {
-        let (engine, workload) = BenchDataset::Kb.prepare_engine(
-            scale,
-            qlen,
-            10,
-            queries,
-            args.threads,
-            args.backend,
-        )?;
+        let (engine, workload) =
+            BenchDataset::Kb.prepare_engine_for(scale, qlen, 10, queries, &args)?;
         for algorithm in Algorithm::ALL {
             let row = measure_method_threaded(
                 &engine,

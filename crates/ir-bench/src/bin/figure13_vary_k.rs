@@ -22,8 +22,7 @@ fn main() -> EngineResult<()> {
             "k",
         );
         for &k in ks {
-            let (engine, workload) =
-                dataset.prepare_engine(scale, 4, k, queries, args.threads, args.backend)?;
+            let (engine, workload) = dataset.prepare_engine_for(scale, 4, k, queries, &args)?;
             for algorithm in Algorithm::ALL {
                 let row = measure_method_threaded(
                     &engine,

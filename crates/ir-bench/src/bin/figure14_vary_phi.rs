@@ -16,8 +16,7 @@ fn main() -> EngineResult<()> {
         Scale::Smoke => &[0, 5, 10],
         _ => &[0, 10, 20, 30, 40],
     };
-    let (engine, workload) =
-        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads, args.backend)?;
+    let (engine, workload) = BenchDataset::Wsj.prepare_engine_for(scale, 4, 10, queries, &args)?;
     let mut table = ExperimentTable::new(
         "Figure 14 — WSJ-like corpus, k = 10, qlen = 4, varying φ (one-off)",
         "phi",

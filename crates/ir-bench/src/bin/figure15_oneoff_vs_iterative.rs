@@ -18,8 +18,7 @@ fn main() -> EngineResult<()> {
         Scale::Smoke => &[1, 3, 5],
         _ => &[1, 5, 10, 20, 40],
     };
-    let (engine, workload) =
-        BenchDataset::Wsj.prepare_engine(scale, 4, 10, queries, args.threads, args.backend)?;
+    let (engine, workload) = BenchDataset::Wsj.prepare_engine_for(scale, 4, 10, queries, &args)?;
     let mut table = ExperimentTable::new(
         "Figure 15 — one-off vs iterative processing, WSJ-like, k = 10, qlen = 4",
         "phi",

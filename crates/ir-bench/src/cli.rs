@@ -17,7 +17,13 @@
 //! * `--emit-json DIR` (or env `IR_BENCH_EMIT_DIR`) — write each printed
 //!   table as a `BENCH_<figure>.json` series into `DIR` (for the CI
 //!   baseline diff; see the `bench_diff` binary). The parsed backend and
-//!   worker count are stamped into the series' policy metadata.
+//!   worker count are stamped into the series' policy metadata,
+//! * `--fault-plan FILE` (or env `IR_BENCH_FAULT_PLAN`) — run the figure
+//!   against a fault-injecting device executing the JSON-serialized
+//!   `FaultPlan` in `FILE` (chaos benchmarking: measure a figure under
+//!   transient faults or injected latency). The plan is stamped into the
+//!   emitted policy metadata; without the flag the stamp is `null`, which
+//!   keeps the committed baselines byte-stable.
 //!
 //! The criterion benches reuse the same parser, so `cargo bench --
 //! --backend mmap` (or the env var) swaps their backend too.
@@ -29,7 +35,7 @@ use crate::emit::{table_to_series, write_figure};
 use crate::runner::ExperimentTable;
 use immutable_regions::engine::EnginePolicy;
 use ir_core::RegionConfig;
-use ir_storage::{BackendKind, StorageBackend};
+use ir_storage::{BackendKind, FaultPlan, StorageBackend};
 use ir_types::{IrError, IrResult};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -72,6 +78,9 @@ pub struct BenchArgs {
     pub backend: BackendKind,
     /// Directory to write `BENCH_<figure>.json` series into, if any.
     pub emit_dir: Option<PathBuf>,
+    /// Fault plan the index's device executes, loaded eagerly from the
+    /// `--fault-plan` JSON file (default: none — a well-behaved device).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl BenchArgs {
@@ -104,9 +113,30 @@ impl BenchArgs {
             None
         }
 
+        // Loads and parses a fault-plan file eagerly: a chaos run with a
+        // typo'd or stale plan must die loudly at startup, not silently
+        // measure a healthy device.
+        fn load_fault_plan(origin: &str, path: &str) -> FaultPlan {
+            let json = match std::fs::read_to_string(path) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("error: {origin}: reading {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match serde_json::from_str(&json) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("error: {origin}: {path} is not a valid fault plan: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+
         let mut threads: Option<usize> = None;
         let mut backend: Option<BackendKind> = None;
         let mut emit_dir: Option<PathBuf> = None;
+        let mut fault_plan: Option<FaultPlan> = None;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             if let Some(value) = flag_value(&arg, "--threads", &mut args) {
@@ -130,6 +160,8 @@ impl BenchArgs {
                 }
             } else if let Some(dir) = flag_value(&arg, "--emit-json", &mut args) {
                 emit_dir = Some(PathBuf::from(dir));
+            } else if let Some(path) = flag_value(&arg, "--fault-plan", &mut args) {
+                fault_plan = Some(load_fault_plan("--fault-plan", &path));
             }
         }
         let threads = threads
@@ -156,10 +188,16 @@ impl BenchArgs {
             })
             .unwrap_or_default();
         let emit_dir = emit_dir.or_else(|| std::env::var("IR_BENCH_EMIT_DIR").ok().map(Into::into));
+        let fault_plan = fault_plan.or_else(|| {
+            std::env::var("IR_BENCH_FAULT_PLAN")
+                .ok()
+                .map(|path| load_fault_plan("IR_BENCH_FAULT_PLAN", &path))
+        });
         BenchArgs {
             threads,
             backend,
             emit_dir,
+            fault_plan,
         }
     }
 
@@ -173,12 +211,15 @@ impl BenchArgs {
     /// files: `config` is the figure's serving template (see
     /// [`BenchArgs::emit_with`]; the per-series algorithm and the figure's
     /// x-axis parameter override it row by row), `threads` is the parsed
-    /// worker count and `backend` the parsed storage backend.
+    /// worker count, `backend` the parsed storage backend and `fault_plan`
+    /// the loaded chaos plan (`null` for ordinary runs, keeping the
+    /// committed baselines stable).
     pub fn policy_with(&self, config: RegionConfig) -> EnginePolicy {
         EnginePolicy {
             config,
             threads: self.threads,
             backend: self.backend,
+            fault_plan: self.fault_plan.clone(),
         }
     }
 
@@ -288,6 +329,31 @@ mod tests {
         let policy = args.policy_with(RegionConfig::default());
         assert_eq!(policy.threads, 3);
         assert_eq!(policy.backend, BackendKind::Mmap);
+    }
+
+    #[test]
+    fn parses_a_fault_plan_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("plan.json");
+        let plan = FaultPlan::transient_reads(7, 3, 100);
+        std::fs::write(&path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let args = BenchArgs::from_arg_list(strings(&[
+            "--fault-plan",
+            path.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]));
+        assert_eq!(args.fault_plan, Some(plan.clone()));
+        // The plan is stamped into the emitted policy metadata.
+        let policy = args.policy_with(RegionConfig::default());
+        assert_eq!(policy.fault_plan, Some(plan));
+        // Without the flag there is no plan and the stamp is null.
+        let args = BenchArgs::from_arg_list(strings(&[]));
+        assert_eq!(args.fault_plan, None);
+        assert!(args
+            .policy_with(RegionConfig::default())
+            .to_json()
+            .contains("\"fault_plan\":null"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use ir_datagen::{
     CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator, QueryWorkload,
     TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
 };
-use ir_storage::{BackendKind, TopKIndex};
+use ir_storage::{BackendKind, FaultPlan, TopKIndex};
 use ir_types::{Dataset, IrResult};
 
 /// Dataset scale, selected with the `IR_BENCH_SCALE` environment variable.
@@ -158,14 +158,56 @@ impl BenchDataset {
         threads: usize,
         backend: BackendKind,
     ) -> EngineResult<(IrEngine, QueryWorkload)> {
+        self.prepare_engine_faulty(scale, qlen, k, num_queries, threads, backend, None)
+    }
+
+    /// [`BenchDataset::prepare_engine`] driven by parsed runner options —
+    /// worker count, storage backend and (for chaos benchmarking) the
+    /// optional fault plan from `--fault-plan`.
+    pub fn prepare_engine_for(
+        &self,
+        scale: Scale,
+        qlen: usize,
+        k: usize,
+        num_queries: usize,
+        args: &crate::cli::BenchArgs,
+    ) -> EngineResult<(IrEngine, QueryWorkload)> {
+        self.prepare_engine_faulty(
+            scale,
+            qlen,
+            k,
+            num_queries,
+            args.threads,
+            args.backend,
+            args.fault_plan.clone(),
+        )
+    }
+
+    /// [`BenchDataset::prepare_engine`] with an optional [`FaultPlan`]: the
+    /// engine's device executes the plan, armed after the index build so
+    /// the injected faults strike the measured queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare_engine_faulty(
+        &self,
+        scale: Scale,
+        qlen: usize,
+        k: usize,
+        num_queries: usize,
+        threads: usize,
+        backend: BackendKind,
+        fault_plan: Option<FaultPlan>,
+    ) -> EngineResult<(IrEngine, QueryWorkload)> {
         let dataset = self.generate(scale);
         let workload = self.workload_for(&dataset, qlen, k, num_queries)?;
         let (storage, scratch) = crate::cli::materialize_backend(backend)?;
-        let engine = IrEngine::builder()
+        let mut builder = IrEngine::builder()
             .dataset_ref(&dataset)
             .backend(storage)
-            .threads(threads)
-            .build()?;
+            .threads(threads);
+        if let Some(plan) = fault_plan {
+            builder = builder.fault_plan(plan);
+        }
+        let engine = builder.build()?;
         // The scratch guard may drop now: the store holds its descriptor to
         // the (unlinked) page file for the engine's lifetime.
         drop(scratch);

@@ -226,7 +226,7 @@ impl<'a> RegionComputation<'a> {
         let qlen = self.ta.dims().len();
 
         let (solved, _worker_io) =
-            crate::parallel::run_queries(&self.index, threads, qlen, |dim_index| {
+            crate::parallel::run_queries(&self.index, threads, qlen, "dimension", |dim_index| {
                 let before = self.index.thread_io_snapshot();
                 let result = crate::parallel::solve_dim_from_snapshot(
                     &self.index,

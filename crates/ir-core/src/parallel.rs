@@ -22,6 +22,12 @@
 //! oracle's exactly (regions *and* candidate counts). Only wall-clock time
 //! and physical-read counts (cache-state dependent) may vary between runs.
 //!
+//! **Panic containment.** Every job runs under `catch_unwind`: a panicking
+//! worker job surfaces as a typed [`ir_types::IrError::WorkerPanicked`] in
+//! that job's result slot, other jobs complete normally, and no mutex is
+//! ever poisoned (the collection locks are `parking_lot` locks, which have
+//! no poisoning at all) — the process and the driver stay fully serviceable.
+//!
 //! **I/O attribution.** Workers register a private shard of the pool's
 //! sharded I/O counters ([`ir_storage::set_thread_stats_shard`]) and diff it
 //! around their own work, so per-query and per-worker I/O tallies stay exact
@@ -36,9 +42,11 @@ use crate::solver_flat::{solve_dim_flat, DimSolveInfo};
 use crate::solver_phi::solve_dim_phi;
 use ir_storage::{IoStatsSnapshot, TopKIndex};
 use ir_topk::{TaConfig, TaRun};
-use ir_types::{IrResult, QueryVector};
+use ir_types::{IrError, IrResult, QueryVector};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Global allocator of worker shard hints: each pool of workers takes a
@@ -46,14 +54,48 @@ use std::time::{Duration, Instant};
 /// workers own pairwise-distinct shards.
 static NEXT_SHARD_HINT: AtomicUsize = AtomicUsize::new(0);
 
+/// Best-effort extraction of a human-readable message from a panic payload
+/// (the `&str`/`String` payloads `panic!` produces; anything else becomes a
+/// placeholder).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `job(i)`, converting a panic into a typed
+/// [`IrError::WorkerPanicked`] naming the job as `"{label} {i}"`.
+fn run_contained<T, F>(label: &str, i: usize, job: &F) -> IrResult<T>
+where
+    F: Fn(usize) -> IrResult<T> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| job(i))) {
+        Ok(result) => result,
+        Err(payload) => Err(IrError::WorkerPanicked {
+            job: format!("{label} {i}"),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
 /// Runs `n` index-bound jobs on up to `threads` workers and returns the
-/// results **in job order** together with one I/O tally per worker.
+/// per-job results **in job order** together with one I/O tally per worker.
 ///
 /// The driver is a scoped work-stealing pool: workers pull the next
 /// unclaimed job index from a shared atomic counter until none remain, so
 /// an uneven job mix self-balances. With `threads <= 1` (or a single job)
 /// everything runs inline on the caller — bit-identical to the threaded
 /// path, because job results never depend on which worker ran them.
+///
+/// **Panic containment.** Each job runs under `catch_unwind`: a panicking
+/// job becomes an `Err(`[`IrError::WorkerPanicked`]`)` in its slot of the
+/// result vector (named `"{label} {i}"`), the worker moves on to the next
+/// job, and no lock is ever poisoned — the process survives and every other
+/// job's result is unaffected.
 ///
 /// Each spawned worker pins a private I/O-stats shard and reports the shard
 /// delta it caused; with the run's workers owning their shards (guaranteed
@@ -66,11 +108,12 @@ pub fn run_queries<T, F>(
     index: &TopKIndex,
     threads: usize,
     n: usize,
+    label: &str,
     job: F,
-) -> (Vec<T>, Vec<IoStatsSnapshot>)
+) -> (Vec<IrResult<T>>, Vec<IoStatsSnapshot>)
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize) -> IrResult<T> + Sync,
 {
     // Clamp to the shard count: a single pool of up to IO_STATS_SHARDS
     // workers owns pairwise-distinct stats shards (consecutive hint block),
@@ -82,13 +125,13 @@ where
         .min(ir_storage::IO_STATS_SHARDS);
     if threads <= 1 {
         let before = index.thread_io_snapshot();
-        let items: Vec<T> = (0..n).map(&job).collect();
+        let items: Vec<IrResult<T>> = (0..n).map(|i| run_contained(label, i, &job)).collect();
         let io = index.thread_io_snapshot().since(&before);
         return (items, vec![io]);
     }
 
     let next_job = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let collected: Mutex<Vec<(usize, IrResult<T>)>> = Mutex::new(Vec::with_capacity(n));
     let tallies: Mutex<Vec<IoStatsSnapshot>> = Mutex::new(Vec::with_capacity(threads));
     let hint_base = NEXT_SHARD_HINT.fetch_add(threads, Ordering::Relaxed);
     std::thread::scope(|scope| {
@@ -106,22 +149,19 @@ where
                     if i >= n {
                         break;
                     }
-                    local.push((i, job(i)));
+                    local.push((i, run_contained(label, i, job)));
                 }
                 let io = index.thread_io_snapshot().since(&before);
-                collected
-                    .lock()
-                    .expect("worker results poisoned")
-                    .extend(local);
-                tallies.lock().expect("worker tallies poisoned").push(io);
+                collected.lock().extend(local);
+                tallies.lock().push(io);
             });
         }
     });
-    let mut items = collected.into_inner().expect("worker results poisoned");
+    let mut items = collected.into_inner();
     items.sort_by_key(|(i, _)| *i);
     (
         items.into_iter().map(|(_, item)| item).collect(),
-        tallies.into_inner().expect("worker tallies poisoned"),
+        tallies.into_inner(),
     )
 }
 
@@ -268,8 +308,12 @@ impl<'a> BatchRegionComputation<'a> {
     /// batch wall-clock time.
     pub fn run_detailed(&self, queries: &[QueryVector]) -> IrResult<BatchOutcome> {
         let started = Instant::now();
-        let (results, worker_io) =
-            run_queries(&self.index, self.threads, queries.len(), |query_index| {
+        let (results, worker_io) = run_queries(
+            &self.index,
+            self.threads,
+            queries.len(),
+            "query",
+            |query_index| {
                 let mut computation = RegionComputation::with_ta_config(
                     &self.index,
                     &queries[query_index],
@@ -282,7 +326,8 @@ impl<'a> BatchRegionComputation<'a> {
                 // produces, for every worker count. Per-dimension fan-out
                 // (`compute_parallel`) is a separate, latency-oriented tool.
                 computation.compute()
-            });
+            },
+        );
         let reports = results.into_iter().collect::<IrResult<Vec<_>>>()?;
         Ok(BatchOutcome {
             reports,
@@ -297,6 +342,22 @@ mod tests {
     use super::*;
     use crate::config::Algorithm;
     use ir_types::{Dataset, DatasetBuilder};
+
+    /// Silences the default panic hook for deliberately injected panics
+    /// (spawned worker threads are outside libtest's output capture);
+    /// everything else still reaches the default hook.
+    fn quiet_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !panic_message(info.payload()).contains("injected fault") {
+                    default(info);
+                }
+            }));
+        });
+    }
 
     fn medium_dataset() -> Dataset {
         let mut builder = DatasetBuilder::new(5);
@@ -330,10 +391,56 @@ mod tests {
         let dataset = Dataset::running_example();
         let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
         for threads in [1usize, 2, 5] {
-            let (items, tallies) = run_queries(&index, threads, 9, |i| i * i);
+            let (items, tallies) = run_queries(&index, threads, 9, "job", |i| Ok(i * i));
+            let items: Vec<usize> = items.into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(items, (0..9).map(|i| i * i).collect::<Vec<_>>());
             assert!(!tallies.is_empty());
         }
+    }
+
+    #[test]
+    fn run_queries_contains_panics_per_job() {
+        let dataset = Dataset::running_example();
+        let index = ir_storage::TopKIndex::build_in_memory(&dataset).unwrap();
+        // Suppress the default panic hook's stderr spam for the injected
+        // panics; the hook is process-global, so set it once.
+        quiet_panics();
+        for threads in [1usize, 2, 8] {
+            let (items, _) = run_queries(&index, threads, 9, "job", |i| {
+                if i == 4 {
+                    panic!("injected fault: job four exploded");
+                }
+                Ok(i)
+            });
+            assert_eq!(items.len(), 9);
+            for (i, item) in items.iter().enumerate() {
+                if i == 4 {
+                    let err = item.as_ref().unwrap_err();
+                    match err {
+                        IrError::WorkerPanicked { job, message } => {
+                            assert_eq!(job, "job 4");
+                            assert!(message.contains("exploded"), "{message}");
+                        }
+                        other => panic!("expected WorkerPanicked, got: {other}"),
+                    }
+                } else {
+                    assert_eq!(*item.as_ref().unwrap(), i, "threads = {threads}");
+                }
+            }
+        }
+        // The driver is reusable after a panic: no poisoned state anywhere.
+        let (items, _) = run_queries(&index, 4, 3, "job", Ok);
+        assert!(items.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let from_str = std::panic::catch_unwind(|| panic!("plain &str")).unwrap_err();
+        assert_eq!(panic_message(from_str.as_ref()), "plain &str");
+        let from_string = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(from_string.as_ref()), "formatted 42");
+        let opaque = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(opaque.as_ref()), "non-string panic payload");
     }
 
     #[test]

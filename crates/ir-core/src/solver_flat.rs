@@ -23,7 +23,7 @@ use crate::threshold::{exhaustive_phase2, threshold_phase2, BoundState, CandView
 use ir_geometry::Interval;
 use ir_storage::TopKIndex;
 use ir_topk::TaRun;
-use ir_types::{IrResult, TupleId};
+use ir_types::{IrError, IrResult, TupleId};
 
 /// Per-dimension bookkeeping returned alongside the regions.
 #[derive(Clone, Copy, Debug, Default)]
@@ -113,7 +113,13 @@ pub fn solve_dim_flat(
     // ------------------------------------------------------------------
     // Phase 2: candidates in C(q).
     // ------------------------------------------------------------------
-    let (dk_id, dk_score, dk_coord) = *result.last().expect("non-empty result");
+    // The empty-result case returned early above, so the top-k buffer is
+    // provably non-empty here; the guard keeps the lints' no-panic promise.
+    let Some(&(dk_id, dk_score, dk_coord)) = result.last() else {
+        return Err(IrError::InvalidConfig(
+            "top-k result unexpectedly empty after non-empty check".to_string(),
+        ));
+    };
     let dk = ScoreCoord::new(dk_score, dk_coord);
 
     let candidate_views: Vec<CandView> = ta

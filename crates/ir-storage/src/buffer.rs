@@ -1,10 +1,19 @@
-//! LRU buffer pool with I/O accounting.
+//! LRU buffer pool with I/O accounting and transient-fault retries.
 //!
 //! Every page access performed by the inverted-list cursors and the tuple
 //! store goes through a [`BufferPool`]. The pool keeps the most recently
 //! used pages in memory (classic LRU) and counts logical reads (requests),
 //! physical reads (misses that hit the page store) and writes. These counters
 //! are the raw material for the I/O metrics of the experiment harness.
+//!
+//! The pool is also the retry boundary of the stack: a [`RetryPolicy`]
+//! re-issues store reads and writes that fail with a *transient* error
+//! ([`IrError::is_transient`] — interrupted syscalls, timeouts), with a
+//! bounded attempt count and a deterministic exponential backoff. A fault
+//! that heals within the budget is invisible to every layer above except
+//! the `read_retries`/`write_retries` counters; one that persists surfaces
+//! as a typed [`IrError::RetryExhausted`]. Non-transient errors (corruption,
+//! out-of-bounds, permanent device failure) are never retried.
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use crate::pagestore::PageStore;
@@ -13,9 +22,50 @@ use ir_types::{IrError, IrResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default number of pages the pool keeps cached (4 MiB with 4 KiB pages).
 pub const DEFAULT_POOL_CAPACITY: usize = 1024;
+
+/// Bounded-retry policy for transient storage faults.
+///
+/// Attempt `i` (zero-based, after the first failure) sleeps
+/// `backoff_base * 2^i` before re-issuing the operation, so the schedule is
+/// deterministic: with the defaults (3 attempts, 100 µs base) a page read
+/// is tried at t=0, t=100 µs and t=300 µs, then gives up with
+/// [`IrError::RetryExhausted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first re-attempt; doubles on each further one.
+    pub backoff_base: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every transient fault surfaces
+    /// immediately (as itself, not as `RetryExhausted`).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before re-attempt number `retry` (zero-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        self.backoff_base * 2u32.saturating_pow(retry).min(1 << 16)
+    }
+}
 
 struct Frame {
     data: Arc<PageBuf>,
@@ -37,6 +87,7 @@ pub struct BufferPool {
     /// each worker owns its shard; see `ShardedIoStats`) and the shard
     /// snapshots always merge losslessly into the pool total.
     stats: ShardedIoStats,
+    retry: RetryPolicy,
 }
 
 impl BufferPool {
@@ -45,8 +96,18 @@ impl BufferPool {
         Self::with_capacity(store, DEFAULT_POOL_CAPACITY)
     }
 
-    /// Creates a pool that caches at most `capacity` pages (minimum 1).
+    /// Creates a pool that caches at most `capacity` pages (minimum 1),
+    /// with the default [`RetryPolicy`].
     pub fn with_capacity(store: Arc<dyn PageStore>, capacity: usize) -> Self {
+        Self::with_capacity_and_policy(store, capacity, RetryPolicy::default())
+    }
+
+    /// Creates a pool with an explicit transient-fault [`RetryPolicy`].
+    pub fn with_capacity_and_policy(
+        store: Arc<dyn PageStore>,
+        capacity: usize,
+        retry: RetryPolicy,
+    ) -> Self {
         BufferPool {
             store,
             inner: Mutex::new(PoolInner {
@@ -55,12 +116,54 @@ impl BufferPool {
                 capacity: capacity.max(1),
             }),
             stats: ShardedIoStats::new(),
+            retry,
         }
     }
 
     /// The underlying page store.
     pub fn store(&self) -> &Arc<dyn PageStore> {
         &self.store
+    }
+
+    /// The pool's transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Runs `op` under the retry policy: transient failures are re-issued
+    /// (recording one retry counter tick via `on_retry` per re-attempt)
+    /// until they heal or the attempt budget is spent.
+    fn with_retries<T>(
+        &self,
+        op: impl Fn() -> IrResult<T>,
+        on_retry: impl Fn(&ShardedIoStats),
+    ) -> IrResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(err) if err.is_transient() => {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        return if self.retry.max_attempts <= 1 {
+                            // A no-retry policy surfaces the fault as-is.
+                            Err(err)
+                        } else {
+                            Err(IrError::RetryExhausted {
+                                attempts: attempt,
+                                source: Box::new(err),
+                            })
+                        };
+                    }
+                    let backoff = self.retry.backoff(attempt - 1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    on_retry(&self.stats);
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// Number of pages currently cached.
@@ -81,9 +184,13 @@ impl BufferPool {
                 return Ok(Arc::clone(&frame.data));
             }
         }
-        // Miss: fetch outside the lock, then insert.
+        // Miss: fetch outside the lock (retrying transient faults), then
+        // insert.
         self.stats.record_physical_read();
-        let data = Arc::new(self.store.read_page(page)?);
+        let data = Arc::new(self.with_retries(
+            || self.store.read_page(page),
+            |stats| stats.record_read_retry(),
+        )?);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -109,7 +216,10 @@ impl BufferPool {
                 data.len()
             )));
         }
-        self.store.write_page(page, data)?;
+        self.with_retries(
+            || self.store.write_page(page, data),
+            |stats| stats.record_write_retry(),
+        )?;
         self.stats.record_write();
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -176,6 +286,7 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjectingPageStore, FaultPlan};
     use crate::pagestore::MemPageStore;
 
     fn pool_with_pages(capacity: usize, pages: u32) -> BufferPool {
@@ -260,5 +371,122 @@ mod tests {
     fn out_of_bounds_read_propagates_error() {
         let pool = pool_with_pages(1, 1);
         assert!(pool.read(PageId(99)).is_err());
+    }
+
+    fn faulty_pool(
+        plan: FaultPlan,
+        retry: RetryPolicy,
+    ) -> (BufferPool, Arc<FaultInjectingPageStore>) {
+        let inner = Arc::new(MemPageStore::new());
+        inner.allocate(4).unwrap();
+        let faulty = FaultInjectingPageStore::new(inner, plan);
+        faulty.arm();
+        let pool = BufferPool::with_capacity_and_policy(Arc::clone(&faulty) as _, 2, retry);
+        (pool, faulty)
+    }
+
+    #[test]
+    fn transient_read_faults_heal_invisibly() {
+        let plan = FaultPlan {
+            transient_read_ops: vec![0, 2],
+            ..FaultPlan::default()
+        };
+        let (pool, faulty) = faulty_pool(
+            plan,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::ZERO,
+            },
+        );
+        // Op 0 fails once, op 1 (the retry) succeeds.
+        pool.read(PageId(0)).unwrap();
+        // Op 2 fails once, op 3 succeeds.
+        pool.read(PageId(1)).unwrap();
+        let snap = pool.io_snapshot();
+        assert_eq!(snap.physical_reads, 2, "retries are not extra misses");
+        assert_eq!(snap.read_retries, 2, "each healed fault counted once");
+        assert_eq!(faulty.injected_faults().0, 2);
+    }
+
+    #[test]
+    fn transient_write_faults_heal_invisibly() {
+        let plan = FaultPlan {
+            transient_write_ops: vec![0],
+            ..FaultPlan::default()
+        };
+        let (pool, _) = faulty_pool(
+            plan,
+            RetryPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::ZERO,
+            },
+        );
+        pool.write(PageId(0), &vec![7u8; PAGE_SIZE]).unwrap();
+        let snap = pool.io_snapshot();
+        assert_eq!(snap.pages_written, 1);
+        assert_eq!(snap.write_retries, 1);
+        assert_eq!(pool.store().read_page(PageId(0)).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn consecutive_transient_faults_exhaust_the_budget() {
+        // Ops 0, 1 and 2 all fail: a 3-attempt policy sees transient errors
+        // on every attempt and gives up with a typed RetryExhausted.
+        let plan = FaultPlan {
+            transient_read_ops: vec![0, 1, 2],
+            ..FaultPlan::default()
+        };
+        let (pool, _) = faulty_pool(
+            plan,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::ZERO,
+            },
+        );
+        let err = pool.read(PageId(0)).unwrap_err();
+        match err {
+            IrError::RetryExhausted { attempts, source } => {
+                assert_eq!(attempts, 3);
+                assert!(source.is_transient());
+            }
+            other => panic!("expected RetryExhausted, got: {other}"),
+        }
+        assert_eq!(pool.io_snapshot().read_retries, 2, "two re-attempts made");
+        // The fault window has passed: the pool serves the next read fine.
+        pool.read(PageId(0)).unwrap();
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        let (pool, faulty) =
+            faulty_pool(FaultPlan::device_outage(0, Some(1)), RetryPolicy::default());
+        let err = pool.read(PageId(0)).unwrap_err();
+        assert!(
+            matches!(err, IrError::Storage(_)),
+            "permanent fault must surface as-is, got: {err}"
+        );
+        assert_eq!(pool.io_snapshot().read_retries, 0);
+        assert_eq!(faulty.injected_faults().0, 1, "exactly one op was issued");
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_transient_faults_directly() {
+        let plan = FaultPlan {
+            transient_read_ops: vec![0],
+            ..FaultPlan::default()
+        };
+        let (pool, _) = faulty_pool(plan, RetryPolicy::none());
+        let err = pool.read(PageId(0)).unwrap_err();
+        assert!(err.is_transient(), "no wrapping under RetryPolicy::none()");
+        assert_eq!(pool.io_snapshot().read_retries, 0);
+    }
+
+    #[test]
+    fn default_policy_has_bounded_deterministic_backoff() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.max_attempts, 3);
+        assert_eq!(policy.backoff(0), Duration::from_micros(100));
+        assert_eq!(policy.backoff(1), Duration::from_micros(200));
+        assert_eq!(policy.backoff(2), Duration::from_micros(400));
     }
 }

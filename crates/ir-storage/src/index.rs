@@ -11,7 +11,8 @@
 //! paper's system model (Section 7.1); querying it is what TA, Scan and CPT
 //! do online.
 
-use crate::buffer::{BufferPool, DEFAULT_POOL_CAPACITY};
+use crate::buffer::{BufferPool, RetryPolicy, DEFAULT_POOL_CAPACITY};
+use crate::fault::{FaultInjectingPageStore, FaultPlan};
 use crate::inverted::{write_list, InvertedListCursor, ListDirectoryEntry};
 use crate::pagestore::{FilePageStore, MemPageStore, PageStore};
 use crate::stats::{IoConfig, IoStatsSnapshot};
@@ -109,6 +110,8 @@ pub struct IndexBuilder {
     backend: StorageBackend,
     pool_capacity: usize,
     io_config: IoConfig,
+    retry_policy: RetryPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for IndexBuilder {
@@ -117,6 +120,8 @@ impl Default for IndexBuilder {
             backend: StorageBackend::Memory,
             pool_capacity: DEFAULT_POOL_CAPACITY,
             io_config: IoConfig::default(),
+            retry_policy: RetryPolicy::default(),
+            fault_plan: None,
         }
     }
 }
@@ -145,6 +150,21 @@ impl IndexBuilder {
         self
     }
 
+    /// Sets the buffer pool's transient-fault [`RetryPolicy`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Wraps the chosen backend in a [`FaultInjectingPageStore`] driven by
+    /// `plan` (`None` for a healthy device — the default). The wrapper stays
+    /// disarmed through index construction and is armed once the build
+    /// completes, so faults strike queries, not the offline build.
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Builds the physical index from an in-memory dataset.
     pub fn build(self, dataset: &Dataset) -> IrResult<TopKIndex> {
         let store: Arc<dyn PageStore> = match &self.backend {
@@ -155,7 +175,21 @@ impl IndexBuilder {
             }
             StorageBackend::Mmap(dir) => mmap_store(dir)?,
         };
-        let pool = Arc::new(BufferPool::with_capacity(store, self.pool_capacity));
+        let (store, injector): (Arc<dyn PageStore>, Option<Arc<FaultInjectingPageStore>>) =
+            match self.fault_plan {
+                Some(plan) => {
+                    // Disarmed while the index is built: faults are a query-
+                    // time phenomenon, the offline build runs fault-free.
+                    let faulty = FaultInjectingPageStore::new(store, plan);
+                    (Arc::clone(&faulty) as Arc<dyn PageStore>, Some(faulty))
+                }
+                None => (store, None),
+            };
+        let pool = Arc::new(BufferPool::with_capacity_and_policy(
+            store,
+            self.pool_capacity,
+            self.retry_policy,
+        ));
 
         // Collect the per-dimension postings.
         let mut postings: HashMap<DimId, Vec<(TupleId, f64)>> = HashMap::new();
@@ -171,7 +205,9 @@ impl IndexBuilder {
         dims.sort_unstable();
         let mut lists: HashMap<DimId, ListDirectoryEntry> = HashMap::with_capacity(dims.len());
         for dim in dims {
-            let mut entries = postings.remove(&dim).expect("dimension present");
+            let Some(mut entries) = postings.remove(&dim) else {
+                continue; // unreachable: `dims` are exactly the keys
+            };
             entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             let directory = write_list(&pool, dim, &entries)?;
             lists.insert(dim, directory);
@@ -184,6 +220,11 @@ impl IndexBuilder {
         pool.clear_cache();
         pool.reset_io_stats();
 
+        // The device starts misbehaving only now that the index exists.
+        if let Some(faulty) = &injector {
+            faulty.arm();
+        }
+
         Ok(TopKIndex {
             pool,
             lists,
@@ -192,6 +233,7 @@ impl IndexBuilder {
             dimensionality: dataset.dimensionality(),
             io_config: self.io_config,
             backend_kind: self.backend.kind(),
+            fault_injector: injector,
         })
     }
 
@@ -230,6 +272,7 @@ pub struct TopKIndex {
     dimensionality: u32,
     io_config: IoConfig,
     backend_kind: BackendKind,
+    fault_injector: Option<Arc<FaultInjectingPageStore>>,
 }
 
 impl TopKIndex {
@@ -256,6 +299,18 @@ impl TopKIndex {
     /// Which page-store backend this index was built on.
     pub fn backend_kind(&self) -> BackendKind {
         self.backend_kind
+    }
+
+    /// The fault injector wrapping the page store, when the index was built
+    /// with [`IndexBuilder::fault_plan`] (chaos runs only; `None` in
+    /// production).
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjectingPageStore>> {
+        self.fault_injector.as_ref()
+    }
+
+    /// The fault plan this index's device executes, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_injector.as_ref().map(|f| f.plan())
     }
 
     /// The buffer pool (shared with cursors and readers).
@@ -443,6 +498,28 @@ mod tests {
         for kind in BackendKind::ALL {
             assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
         }
+    }
+
+    #[test]
+    fn fault_plan_wraps_the_store_and_arms_after_build() {
+        let dataset = Dataset::running_example();
+        // An open-ended outage from op 0: had the wrapper been armed during
+        // the build, construction itself would have failed.
+        let plan = FaultPlan::device_outage(0, None);
+        let index = IndexBuilder::new()
+            .fault_plan(Some(plan.clone()))
+            .build(&dataset)
+            .unwrap();
+        assert_eq!(index.fault_plan(), Some(&plan));
+        let injector = index.fault_injector().unwrap();
+        assert!(injector.is_armed(), "armed once the build completed");
+        // Every post-build read hits the dead device.
+        let err = index.fetch_tuple(TupleId(0)).unwrap_err();
+        assert!(err.to_string().contains("injected device failure"), "{err}");
+        // Without a plan there is no injector at all.
+        let healthy = TopKIndex::build_in_memory(&dataset).unwrap();
+        assert!(healthy.fault_injector().is_none());
+        assert!(healthy.fault_plan().is_none());
     }
 
     #[cfg(feature = "mmap")]

@@ -13,7 +13,11 @@
 //!   ([`FilePageStore`]), or — behind the `mmap` cargo feature — a read-only
 //!   memory mapping (`MmapPageStore` in the `mmap` module),
 //! * [`buffer`] — an LRU buffer pool that every access goes through, with
-//!   logical/physical read accounting,
+//!   logical/physical read accounting and a bounded [`RetryPolicy`] that
+//!   heals transient device faults invisibly,
+//! * [`fault`] — a deterministic fault-injection wrapper
+//!   ([`FaultInjectingPageStore`]) driven by a serializable [`FaultPlan`],
+//!   used by the chaos suite and the `--fault-plan` runner flag,
 //! * [`stats`] — I/O counters and a configurable latency model used by the
 //!   experiment harness to report I/O time,
 //! * [`inverted`] — the per-dimension inverted lists with resumable
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod fault;
 pub mod index;
 pub mod inverted;
 #[cfg(feature = "mmap")]
@@ -42,7 +47,8 @@ pub mod pagestore;
 pub mod stats;
 pub mod tuplestore;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, RetryPolicy};
+pub use fault::{CorruptionSpec, FaultInjectingPageStore, FaultPlan};
 pub use index::{BackendKind, IndexBuilder, StorageBackend, TopKIndex};
 pub use inverted::{InvertedListCursor, ListDirectoryEntry};
 #[cfg(feature = "mmap")]

@@ -35,8 +35,10 @@
 #[cfg(not(all(unix, target_pointer_width = "64")))]
 compile_error!("the `mmap` cargo feature requires a 64-bit Unix target");
 
-use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
-use crate::pagestore::{write_all_at, PageStore};
+use crate::page::{frame, PageBuf, PageId, PAGE_SIZE};
+use crate::pagestore::{
+    check_corrupt_offset, check_write_len, out_of_bounds, read_exact_at, write_all_at, PageStore,
+};
 use crate::stats::{IoStatsSnapshot, ShardedIoStats};
 use ir_types::{IrError, IrResult};
 use parking_lot::RwLock;
@@ -154,8 +156,10 @@ struct MapState {
     num_pages: u32,
 }
 
-/// Memory-mapped page store: one flat file, page `i` at byte offset
-/// `i * PAGE_SIZE`, reads served from a shared read-only mapping.
+/// Memory-mapped page store over the same [`crate::page::frame`] format as
+/// [`crate::pagestore::FilePageStore`]: a versioned header, then page `i`'s
+/// checksummed frame at `frame::offset(i)`, reads served from a shared
+/// read-only mapping (and verified against the trailer on every read).
 ///
 /// Read-mostly by design: reads take the state lock shared and copy out of
 /// the mapping concurrently; only growth (allocation past the mapped length)
@@ -167,7 +171,8 @@ pub struct MmapPageStore {
 }
 
 impl MmapPageStore {
-    /// Creates (or truncates) a page file at `path`.
+    /// Creates (or truncates) a page file at `path`, writing the versioned
+    /// header.
     pub fn create<P: AsRef<Path>>(path: P) -> IrResult<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -175,6 +180,7 @@ impl MmapPageStore {
             .create(true)
             .truncate(true)
             .open(path)?;
+        write_all_at(&file, &frame::encode_header(), 0)?;
         Ok(MmapPageStore {
             file,
             state: RwLock::new(MapState {
@@ -185,27 +191,24 @@ impl MmapPageStore {
         })
     }
 
-    /// Opens an existing page file.
+    /// Opens an existing page file, validating its header and overall shape
+    /// exactly like `FilePageStore::open` — the two share one on-disk
+    /// format.
     pub fn open<P: AsRef<Path>>(path: P) -> IrResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(IrError::Storage(format!(
-                "page file has length {len}, not a multiple of the page size"
-            )));
-        }
+        let num_pages = frame::page_count(len)?;
+        let mut header = [0u8; frame::HEADER_LEN];
+        read_exact_at(&file, &mut header, 0)?;
+        frame::validate_header(&header)?;
         Ok(MmapPageStore {
             file,
             state: RwLock::new(MapState {
                 mapping: None,
-                num_pages: (len / PAGE_SIZE as u64) as u32,
+                num_pages,
             }),
             stats: ShardedIoStats::new(),
         })
-    }
-
-    fn byte_offset(page: PageId) -> usize {
-        page.0 as usize * PAGE_SIZE
     }
 }
 
@@ -220,70 +223,88 @@ impl PageStore for MmapPageStore {
         let new_pages = first
             .checked_add(count)
             .ok_or_else(|| IrError::Storage("page id space exhausted".to_string()))?;
-        // Extending the file length zero-fills the new pages; the existing
-        // mapping (if any) keeps serving the old range and a later read past
-        // it triggers a remap.
-        self.file.set_len(new_pages as u64 * PAGE_SIZE as u64)?;
+        // Extending the file length zero-fills the new frames' payloads; the
+        // checksum trailers are then written explicitly (an all-zero trailer
+        // is *not* the checksum of an all-zero page). The existing mapping
+        // (if any) keeps serving the old range and a later read past it
+        // triggers a remap.
+        self.file.set_len(frame::offset(PageId(new_pages)))?;
+        let zero_seal = frame::zero_page_seal();
+        for i in first..new_pages {
+            write_all_at(
+                &self.file,
+                &zero_seal,
+                frame::offset(PageId(i)) + PAGE_SIZE as u64,
+            )?;
+        }
         state.num_pages = new_pages;
         Ok(PageId(first))
     }
 
     fn read_page(&self, page: PageId) -> IrResult<PageBuf> {
-        let offset = Self::byte_offset(page);
-        let mut buf = zeroed_page();
-        {
-            // Fast path: the current mapping covers the page.
+        let offset = frame::offset(page) as usize;
+        let mut framed = vec![0u8; frame::FRAME_LEN];
+        let copied = {
+            // Fast path: the current mapping covers the frame.
             let state = self.state.read();
             if page.0 >= state.num_pages {
-                return Err(IrError::Storage(format!("page {page} out of bounds")));
+                return Err(out_of_bounds(page, state.num_pages));
             }
-            if let Some(mapping) = state
+            match state
                 .mapping
                 .as_ref()
-                .filter(|m| offset + PAGE_SIZE <= m.len())
+                .filter(|m| offset + frame::FRAME_LEN <= m.len())
             {
-                mapping.read_into(offset, &mut buf);
-                self.stats.record_logical_read();
-                return Ok(buf);
+                Some(mapping) => {
+                    mapping.read_into(offset, &mut framed);
+                    true
+                }
+                None => false,
             }
+        };
+        if !copied {
+            // Slow path: (re)establish the mapping over the current length.
+            let mut state = self.state.write();
+            if page.0 >= state.num_pages {
+                return Err(out_of_bounds(page, state.num_pages));
+            }
+            // Another thread may have remapped while we waited for the lock.
+            let covered = state
+                .mapping
+                .as_ref()
+                .is_some_and(|m| offset + frame::FRAME_LEN <= m.len());
+            if !covered {
+                let len = frame::offset(PageId(state.num_pages)) as usize;
+                state.mapping = Some(sys::Mapping::new(&self.file, len).map_err(|e| {
+                    IrError::Storage(format!("mmap of {len}-byte page file failed: {e}"))
+                })?);
+                self.stats.record_read_syscall();
+            }
+            let Some(mapping) = state.mapping.as_ref() else {
+                return Err(IrError::Storage(
+                    "mmap state lost its mapping during a remap".to_string(),
+                ));
+            };
+            mapping.read_into(offset, &mut framed);
         }
-        // Slow path: (re)establish the mapping over the current file length.
-        let mut state = self.state.write();
-        if page.0 >= state.num_pages {
-            return Err(IrError::Storage(format!("page {page} out of bounds")));
-        }
-        // Another thread may have remapped while we waited for the lock.
-        let covered = state
-            .mapping
-            .as_ref()
-            .is_some_and(|m| offset + PAGE_SIZE <= m.len());
-        if !covered {
-            let len = state.num_pages as usize * PAGE_SIZE;
-            state.mapping = Some(sys::Mapping::new(&self.file, len).map_err(|e| {
-                IrError::Storage(format!("mmap of {len}-byte page file failed: {e}"))
-            })?);
-            self.stats.record_read_syscall();
-        }
-        let mapping = state.mapping.as_ref().expect("mapping just established");
-        mapping.read_into(offset, &mut buf);
+        frame::verify(page, &framed[..PAGE_SIZE], &framed[PAGE_SIZE..])?;
+        framed.truncate(PAGE_SIZE);
         self.stats.record_logical_read();
-        Ok(buf)
+        Ok(framed.into_boxed_slice())
     }
 
     fn write_page(&self, page: PageId, data: &[u8]) -> IrResult<()> {
-        if data.len() != PAGE_SIZE {
-            return Err(IrError::Storage(format!(
-                "write_page expects {PAGE_SIZE} bytes, got {}",
-                data.len()
-            )));
-        }
+        check_write_len(data)?;
         // Hold the lock shared across the write so a concurrent remap cannot
         // observe a torn page; the positioned write itself needs no cursor.
         let state = self.state.read();
         if page.0 >= state.num_pages {
-            return Err(IrError::Storage(format!("page {page} out of bounds")));
+            return Err(out_of_bounds(page, state.num_pages));
         }
-        write_all_at(&self.file, data, Self::byte_offset(page) as u64)?;
+        let mut framed = vec![0u8; frame::FRAME_LEN];
+        framed[..PAGE_SIZE].copy_from_slice(data);
+        framed[PAGE_SIZE..].copy_from_slice(&frame::seal(data));
+        write_all_at(&self.file, &framed, frame::offset(page))?;
         self.stats.record_write();
         Ok(())
     }
@@ -295,11 +316,26 @@ impl PageStore for MmapPageStore {
     fn reset_io_stats(&self) {
         self.stats.reset();
     }
+
+    fn corrupt_stored_byte(&self, page: PageId, offset: usize, mask: u8) -> IrResult<()> {
+        check_corrupt_offset(offset)?;
+        let state = self.state.read();
+        if page.0 >= state.num_pages {
+            return Err(out_of_bounds(page, state.num_pages));
+        }
+        let pos = frame::offset(page) + offset as u64;
+        let mut byte = [0u8; 1];
+        read_exact_at(&self.file, &mut byte, pos)?;
+        byte[0] ^= mask;
+        write_all_at(&self.file, &byte, pos)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::page::zeroed_page;
 
     #[test]
     fn mmap_store_roundtrip_and_growth() {
@@ -378,7 +414,41 @@ mod tests {
         let store = MmapPageStore::create(dir.path().join("pages.bin")).unwrap();
         store.allocate(1).unwrap();
         assert!(store.write_page(PageId(0), &[1, 2, 3]).is_err());
-        assert!(store.write_page(PageId(9), &zeroed_page()).is_err());
-        assert!(store.read_page(PageId(9)).is_err());
+        assert!(matches!(
+            store.write_page(PageId(9), &zeroed_page()),
+            Err(IrError::PageOutOfBounds {
+                page: 9,
+                num_pages: 1
+            })
+        ));
+        assert!(matches!(
+            store.read_page(PageId(9)),
+            Err(IrError::PageOutOfBounds {
+                page: 9,
+                num_pages: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_injected_corruption_through_the_mapping() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = MmapPageStore::create(dir.path().join("pages.bin")).unwrap();
+        store.allocate(2).unwrap();
+        let mut page = zeroed_page();
+        page[17] = 0xAB;
+        store.write_page(PageId(1), &page).unwrap();
+        // Establish the mapping, then rot a byte underneath it: MAP_SHARED
+        // coherence means the checksum check sees the damage immediately.
+        store.read_page(PageId(1)).unwrap();
+        store.corrupt_stored_byte(PageId(1), 17, 0xFF).unwrap();
+        let err = store.read_page(PageId(1)).unwrap_err();
+        assert!(
+            matches!(err, IrError::Corruption { page: Some(1), .. }),
+            "expected corruption on page 1, got: {err}"
+        );
+        // Re-applying the XOR mask heals it.
+        store.corrupt_stored_byte(PageId(1), 17, 0xFF).unwrap();
+        assert_eq!(store.read_page(PageId(1)).unwrap()[17], 0xAB);
     }
 }

@@ -1,4 +1,5 @@
-//! Fixed-size pages and page identifiers.
+//! Fixed-size pages, page identifiers, and the self-validating on-disk
+//! frame format shared by the file and mmap stores.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,6 +47,152 @@ pub type PageBuf = Box<[u8]>;
 /// Allocates a zeroed page buffer.
 pub fn zeroed_page() -> PageBuf {
     vec![0u8; PAGE_SIZE].into_boxed_slice()
+}
+
+/// FNV-1a 64-bit hash — the per-page checksum of the on-disk frame format.
+///
+/// Hand-rolled (no external crate is vendored): a simple, fast,
+/// well-distributed non-cryptographic hash. It is not meant to resist an
+/// adversary, only to catch bit rot, torn writes and driver bugs.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in data {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The self-validating on-disk layout of the file-backed page stores.
+///
+/// A page file starts with a fixed-length versioned header, followed by one
+/// *frame* per page: the 4 KiB payload plus an 8-byte little-endian
+/// [`fnv1a64`] checksum trailer computed over the payload. Both
+/// `FilePageStore` and `MmapPageStore` read and write this exact layout, so
+/// the two stay byte-interchangeable. Every field is explicitly
+/// little-endian; the format is independent of host endianness.
+pub mod frame {
+    use super::{fnv1a64, PageId, PAGE_SIZE};
+    use ir_types::{IrError, IrResult};
+
+    /// Length of the per-frame checksum trailer in bytes.
+    pub const CHECKSUM_LEN: usize = 8;
+
+    /// Length of one on-disk frame: payload plus checksum trailer.
+    pub const FRAME_LEN: usize = PAGE_SIZE + CHECKSUM_LEN;
+
+    /// Magic bytes opening every page file.
+    pub const MAGIC: [u8; 8] = *b"IRPAGES\0";
+
+    /// Version of the frame format (bumped on any layout change).
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Length of the file header. Fixed so the frame offsets never move;
+    /// the bytes past the three fields are zeroed and reserved.
+    pub const HEADER_LEN: usize = 64;
+
+    /// The byte offset of a page's frame inside the file.
+    #[inline]
+    pub fn offset(page: PageId) -> u64 {
+        HEADER_LEN as u64 + page.0 as u64 * FRAME_LEN as u64
+    }
+
+    /// Encodes the versioned file header: magic, format version (LE),
+    /// page size (LE), zero padding.
+    pub fn encode_header() -> [u8; HEADER_LEN] {
+        let mut header = [0u8; HEADER_LEN];
+        header[..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        header
+    }
+
+    /// Validates a header read back from disk, returning a typed
+    /// [`IrError::Corruption`] naming exactly what failed.
+    pub fn validate_header(header: &[u8; HEADER_LEN]) -> IrResult<()> {
+        if header[..8] != MAGIC {
+            return Err(IrError::Corruption {
+                page: None,
+                detail: format!(
+                    "bad magic {:02x?} (expected {:02x?}); not a page file",
+                    &header[..8],
+                    MAGIC
+                ),
+            });
+        }
+        let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if version != FORMAT_VERSION {
+            return Err(IrError::Corruption {
+                page: None,
+                detail: format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+            });
+        }
+        let page_size = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        if page_size as usize != PAGE_SIZE {
+            return Err(IrError::Corruption {
+                page: None,
+                detail: format!("page size {page_size} does not match the compiled {PAGE_SIZE}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates that the bytes after the header hold a whole number of
+    /// frames, returning the page count.
+    pub fn page_count(file_len: u64) -> IrResult<u32> {
+        let body = file_len
+            .checked_sub(HEADER_LEN as u64)
+            .ok_or_else(|| IrError::Corruption {
+                page: None,
+                detail: format!(
+                    "file has {file_len} bytes, shorter than the {HEADER_LEN}-byte header"
+                ),
+            })?;
+        if body % FRAME_LEN as u64 != 0 {
+            return Err(IrError::Corruption {
+                page: None,
+                detail: format!(
+                    "page area has {body} bytes, not a whole number of {FRAME_LEN}-byte frames \
+                     (torn trailing write?)"
+                ),
+            });
+        }
+        Ok((body / FRAME_LEN as u64) as u32)
+    }
+
+    /// The checksum trailer for a payload, as stored on disk (LE).
+    #[inline]
+    pub fn seal(payload: &[u8]) -> [u8; CHECKSUM_LEN] {
+        fnv1a64(payload).to_le_bytes()
+    }
+
+    /// Verifies a frame read back from disk: the trailer must equal the
+    /// payload's checksum.
+    pub fn verify(page: PageId, payload: &[u8], trailer: &[u8]) -> IrResult<()> {
+        let computed = fnv1a64(payload);
+        let mut stored = [0u8; CHECKSUM_LEN];
+        stored.copy_from_slice(trailer);
+        let stored = u64::from_le_bytes(stored);
+        if computed != stored {
+            return Err(IrError::Corruption {
+                page: Some(page.0),
+                detail: format!(
+                    "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The trailer of an all-zero page — what freshly allocated frames
+    /// carry (the mmap store zero-fills payloads via `set_len` and then
+    /// writes just this trailer per new frame).
+    pub fn zero_page_seal() -> [u8; CHECKSUM_LEN] {
+        static SEAL: std::sync::OnceLock<[u8; CHECKSUM_LEN]> = std::sync::OnceLock::new();
+        *SEAL.get_or_init(|| seal(&[0u8; PAGE_SIZE]))
+    }
 }
 
 /// Little helpers to read/write fixed-width integers and floats at byte
@@ -113,5 +260,78 @@ mod tests {
         codec::put_u32(&mut buf, 0, 1);
         assert_eq!(buf[0], 1);
         assert_eq!(buf[1], 0);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn frame_seal_and_verify_roundtrip() {
+        let mut page = zeroed_page();
+        codec::put_u32(&mut page, 0, 42);
+        let trailer = frame::seal(&page);
+        frame::verify(PageId(5), &page, &trailer).expect("untouched frame verifies");
+        // Flip one payload bit: verification must name the page.
+        page[100] ^= 0x01;
+        let err = frame::verify(PageId(5), &page, &trailer).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("page 5"), "{msg}");
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn frame_header_roundtrips_and_rejects_damage() {
+        let header = frame::encode_header();
+        frame::validate_header(&header).expect("fresh header validates");
+
+        let mut bad_magic = header;
+        bad_magic[0] = b'X';
+        assert!(frame::validate_header(&bad_magic)
+            .unwrap_err()
+            .to_string()
+            .contains("bad magic"));
+
+        let mut bad_version = header;
+        bad_version[8] = 99;
+        assert!(frame::validate_header(&bad_version)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+
+        let mut bad_page_size = header;
+        bad_page_size[13] ^= 0xFF; // 4096 = 00 10 00 00 LE; flip the 0x10
+        assert!(frame::validate_header(&bad_page_size)
+            .unwrap_err()
+            .to_string()
+            .contains("page size"));
+    }
+
+    #[test]
+    fn frame_page_count_requires_whole_frames() {
+        let header = frame::HEADER_LEN as u64;
+        let one_frame = frame::FRAME_LEN as u64;
+        assert_eq!(frame::page_count(header).unwrap(), 0);
+        assert_eq!(frame::page_count(header + 3 * one_frame).unwrap(), 3);
+        assert!(frame::page_count(header - 1).is_err());
+        assert!(frame::page_count(header + one_frame - 1).is_err());
+    }
+
+    #[test]
+    fn frame_offsets_leave_room_for_the_header() {
+        assert_eq!(frame::offset(PageId(0)), frame::HEADER_LEN as u64);
+        assert_eq!(
+            frame::offset(PageId(2)),
+            frame::HEADER_LEN as u64 + 2 * frame::FRAME_LEN as u64
+        );
+    }
+
+    #[test]
+    fn zero_page_seal_matches_direct_seal() {
+        assert_eq!(frame::zero_page_seal(), frame::seal(&zeroed_page()));
     }
 }

@@ -17,6 +17,13 @@
 //!   memory copy (plus, at worst, a soft page fault serviced by the OS)
 //!   instead of a read syscall.
 //!
+//! All stores are *self-validating*: each stored page carries an FNV-1a-64
+//! checksum (see [`crate::page::frame`]) that is verified on every read, and
+//! the file-backed stores open with a versioned header check. Damage
+//! surfaces as a typed [`IrError::Corruption`] naming the page, never as
+//! silently wrong bytes. Out-of-range accesses likewise return the same
+//! typed [`IrError::PageOutOfBounds`] from every backend.
+//!
 //! Every store keeps its own device-level [`ShardedIoStats`]: `logical_reads`
 //! counts page reads served by the store (for the mmap store these are the
 //! *page-fault-equivalent* reads — no syscall happens, but a page's worth of
@@ -27,7 +34,7 @@
 //! `store.io_snapshot().logical_reads` always equals the pool's
 //! `physical_reads` no matter which backend is plugged in.
 
-use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+use crate::page::{frame, zeroed_page, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{IoStatsSnapshot, ShardedIoStats};
 use ir_types::{IrError, IrResult};
 use parking_lot::Mutex;
@@ -50,10 +57,10 @@ pub trait PageStore: Send + Sync {
     /// Allocates `count` fresh zeroed pages and returns the id of the first.
     fn allocate(&self, count: u32) -> IrResult<PageId>;
 
-    /// Reads a full page into a new buffer.
+    /// Reads a full page into a new buffer, verifying its checksum.
     fn read_page(&self, page: PageId) -> IrResult<PageBuf>;
 
-    /// Overwrites a full page.
+    /// Overwrites a full page (and reseals its checksum).
     fn write_page(&self, page: PageId, data: &[u8]) -> IrResult<()>;
 
     /// Snapshot of the store's device-level counters (see the module docs
@@ -62,6 +69,50 @@ pub trait PageStore: Send + Sync {
 
     /// Resets the store's device-level counters to zero.
     fn reset_io_stats(&self);
+
+    /// XORs `mask` into the *stored* byte at `offset` inside `page` without
+    /// resealing the checksum — simulating bit rot underneath the store.
+    ///
+    /// The next `read_page` of that page fails with
+    /// [`IrError::Corruption`]; applying the same mask again restores the
+    /// original byte. This is a fault-injection hook for the chaos suite,
+    /// not part of normal operation, so the default implementation refuses.
+    fn corrupt_stored_byte(&self, page: PageId, offset: usize, mask: u8) -> IrResult<()> {
+        let _ = (page, offset, mask);
+        Err(IrError::Storage(
+            "corruption injection is not supported by this page store".to_string(),
+        ))
+    }
+}
+
+/// The typed error every backend returns for an out-of-range page access.
+pub(crate) fn out_of_bounds(page: PageId, num_pages: u32) -> IrError {
+    IrError::PageOutOfBounds {
+        page: page.0,
+        num_pages,
+    }
+}
+
+/// The typed error every backend returns for a wrong-sized `write_page`.
+pub(crate) fn check_write_len(data: &[u8]) -> IrResult<()> {
+    if data.len() != PAGE_SIZE {
+        return Err(IrError::Storage(format!(
+            "write_page expects {PAGE_SIZE} bytes, got {}",
+            data.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Bounds-check for the corruption-injection hook: the offset must land in
+/// the page payload.
+pub(crate) fn check_corrupt_offset(offset: usize) -> IrResult<()> {
+    if offset >= PAGE_SIZE {
+        return Err(IrError::Storage(format!(
+            "corrupt_stored_byte offset {offset} is past the {PAGE_SIZE}-byte payload"
+        )));
+    }
+    Ok(())
 }
 
 /// Reads `buf.len()` bytes at `offset` without moving any file cursor (one
@@ -113,10 +164,27 @@ pub(crate) fn write_all_at(file: &File, data: &[u8], offset: u64) -> std::io::Re
     }
 }
 
+/// One in-memory frame: payload plus the checksum trailer it was sealed
+/// with. The trailer is stored (not recomputed on read) so injected
+/// corruption is detectable exactly as it would be on disk.
+struct MemFrame {
+    payload: PageBuf,
+    seal: [u8; frame::CHECKSUM_LEN],
+}
+
+impl MemFrame {
+    fn zeroed() -> Self {
+        MemFrame {
+            payload: zeroed_page(),
+            seal: frame::zero_page_seal(),
+        }
+    }
+}
+
 /// In-memory page store.
 #[derive(Default)]
 pub struct MemPageStore {
-    pages: Mutex<Vec<PageBuf>>,
+    pages: Mutex<Vec<MemFrame>>,
     stats: ShardedIoStats,
 }
 
@@ -136,33 +204,31 @@ impl PageStore for MemPageStore {
         let mut pages = self.pages.lock();
         let first = pages.len() as u32;
         for _ in 0..count {
-            pages.push(zeroed_page());
+            pages.push(MemFrame::zeroed());
         }
         Ok(PageId(first))
     }
 
     fn read_page(&self, page: PageId) -> IrResult<PageBuf> {
         let pages = self.pages.lock();
-        let buf = pages
+        let stored = pages
             .get(page.index())
-            .cloned()
-            .ok_or_else(|| IrError::Storage(format!("page {page} out of bounds")))?;
+            .ok_or_else(|| out_of_bounds(page, pages.len() as u32))?;
+        frame::verify(page, &stored.payload, &stored.seal)?;
+        let buf = stored.payload.clone();
         self.stats.record_logical_read();
         Ok(buf)
     }
 
     fn write_page(&self, page: PageId, data: &[u8]) -> IrResult<()> {
-        if data.len() != PAGE_SIZE {
-            return Err(IrError::Storage(format!(
-                "write_page expects {PAGE_SIZE} bytes, got {}",
-                data.len()
-            )));
-        }
+        check_write_len(data)?;
         let mut pages = self.pages.lock();
+        let num_pages = pages.len() as u32;
         let slot = pages
             .get_mut(page.index())
-            .ok_or_else(|| IrError::Storage(format!("page {page} out of bounds")))?;
-        slot.copy_from_slice(data);
+            .ok_or_else(|| out_of_bounds(page, num_pages))?;
+        slot.payload.copy_from_slice(data);
+        slot.seal = frame::seal(data);
         self.stats.record_write();
         Ok(())
     }
@@ -174,17 +240,29 @@ impl PageStore for MemPageStore {
     fn reset_io_stats(&self) {
         self.stats.reset();
     }
+
+    fn corrupt_stored_byte(&self, page: PageId, offset: usize, mask: u8) -> IrResult<()> {
+        check_corrupt_offset(offset)?;
+        let mut pages = self.pages.lock();
+        let num_pages = pages.len() as u32;
+        let slot = pages
+            .get_mut(page.index())
+            .ok_or_else(|| out_of_bounds(page, num_pages))?;
+        slot.payload[offset] ^= mask;
+        Ok(())
+    }
 }
 
-/// File-backed page store: one flat file, page `i` at byte offset
-/// `i * PAGE_SIZE`.
+/// File-backed page store over the [`crate::page::frame`] format: a 64-byte
+/// versioned header, then page `i`'s frame (payload + checksum trailer) at
+/// `frame::offset(i)`.
 ///
 /// Reads and writes are *positioned* (`read_at`/`write_at`): no shared file
 /// cursor exists, so concurrent readers never serialize on a lock and every
-/// page miss costs exactly one read syscall — down from the two (seek, then
-/// read) the original cursor-based path paid. The saving shows up in the
-/// store's [`IoStatsSnapshot::read_syscalls`], which stays equal to its
-/// `logical_reads` instead of double.
+/// page miss costs exactly one read syscall — frames are contiguous, so the
+/// payload and its trailer arrive in a single `pread`. The saving shows up
+/// in the store's [`IoStatsSnapshot::read_syscalls`], which stays equal to
+/// its `logical_reads` instead of double.
 pub struct FilePageStore {
     file: File,
     num_pages: Mutex<u32>,
@@ -192,7 +270,8 @@ pub struct FilePageStore {
 }
 
 impl FilePageStore {
-    /// Creates (or truncates) a page file at `path`.
+    /// Creates (or truncates) a page file at `path`, writing the versioned
+    /// header.
     pub fn create<P: AsRef<Path>>(path: P) -> IrResult<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -200,6 +279,7 @@ impl FilePageStore {
             .create(true)
             .truncate(true)
             .open(path)?;
+        write_all_at(&file, &frame::encode_header(), 0)?;
         Ok(FilePageStore {
             file,
             num_pages: Mutex::new(0),
@@ -207,18 +287,20 @@ impl FilePageStore {
         })
     }
 
-    /// Opens an existing page file.
+    /// Opens an existing page file, validating its header and overall shape
+    /// before serving a single page. A file that is not a page file (or was
+    /// torn mid-write) is reported as a typed [`IrError::Corruption`], not
+    /// a bare `UnexpectedEof` on some later read.
     pub fn open<P: AsRef<Path>>(path: P) -> IrResult<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(IrError::Storage(format!(
-                "page file has length {len}, not a multiple of the page size"
-            )));
-        }
+        let num_pages = frame::page_count(len)?;
+        let mut header = [0u8; frame::HEADER_LEN];
+        read_exact_at(&file, &mut header, 0)?;
+        frame::validate_header(&header)?;
         Ok(FilePageStore {
             file,
-            num_pages: Mutex::new((len / PAGE_SIZE as u64) as u32),
+            num_pages: Mutex::new(num_pages),
             stats: ShardedIoStats::new(),
         })
     }
@@ -232,36 +314,39 @@ impl PageStore for FilePageStore {
     fn allocate(&self, count: u32) -> IrResult<PageId> {
         let mut num = self.num_pages.lock();
         let first = *num;
-        let zeros = zeroed_page();
+        let mut zero_frame = vec![0u8; frame::FRAME_LEN];
+        zero_frame[PAGE_SIZE..].copy_from_slice(&frame::zero_page_seal());
         for i in 0..count {
-            write_all_at(&self.file, &zeros, (first + i) as u64 * PAGE_SIZE as u64)?;
+            write_all_at(&self.file, &zero_frame, frame::offset(PageId(first + i)))?;
         }
         *num += count;
         Ok(PageId(first))
     }
 
     fn read_page(&self, page: PageId) -> IrResult<PageBuf> {
-        if page.0 >= self.num_pages() {
-            return Err(IrError::Storage(format!("page {page} out of bounds")));
+        let num_pages = self.num_pages();
+        if page.0 >= num_pages {
+            return Err(out_of_bounds(page, num_pages));
         }
-        let mut buf = zeroed_page();
-        read_exact_at(&self.file, &mut buf, page.0 as u64 * PAGE_SIZE as u64)?;
+        let mut buf = vec![0u8; frame::FRAME_LEN];
+        read_exact_at(&self.file, &mut buf, frame::offset(page))?;
+        frame::verify(page, &buf[..PAGE_SIZE], &buf[PAGE_SIZE..])?;
+        buf.truncate(PAGE_SIZE);
         self.stats.record_logical_read();
         self.stats.record_read_syscall();
-        Ok(buf)
+        Ok(buf.into_boxed_slice())
     }
 
     fn write_page(&self, page: PageId, data: &[u8]) -> IrResult<()> {
-        if data.len() != PAGE_SIZE {
-            return Err(IrError::Storage(format!(
-                "write_page expects {PAGE_SIZE} bytes, got {}",
-                data.len()
-            )));
+        check_write_len(data)?;
+        let num_pages = self.num_pages();
+        if page.0 >= num_pages {
+            return Err(out_of_bounds(page, num_pages));
         }
-        if page.0 >= self.num_pages() {
-            return Err(IrError::Storage(format!("page {page} out of bounds")));
-        }
-        write_all_at(&self.file, data, page.0 as u64 * PAGE_SIZE as u64)?;
+        let mut framed = vec![0u8; frame::FRAME_LEN];
+        framed[..PAGE_SIZE].copy_from_slice(data);
+        framed[PAGE_SIZE..].copy_from_slice(&frame::seal(data));
+        write_all_at(&self.file, &framed, frame::offset(page))?;
         self.stats.record_write();
         Ok(())
     }
@@ -272,6 +357,20 @@ impl PageStore for FilePageStore {
 
     fn reset_io_stats(&self) {
         self.stats.reset();
+    }
+
+    fn corrupt_stored_byte(&self, page: PageId, offset: usize, mask: u8) -> IrResult<()> {
+        check_corrupt_offset(offset)?;
+        let num_pages = self.num_pages();
+        if page.0 >= num_pages {
+            return Err(out_of_bounds(page, num_pages));
+        }
+        let pos = frame::offset(page) + offset as u64;
+        let mut byte = [0u8; 1];
+        read_exact_at(&self.file, &mut byte, pos)?;
+        byte[0] ^= mask;
+        write_all_at(&self.file, &byte, pos)?;
+        Ok(())
     }
 }
 
@@ -297,12 +396,48 @@ mod tests {
         let untouched = store.read_page(PageId(2)).unwrap();
         assert!(untouched.iter().all(|&b| b == 0));
 
-        assert!(store.read_page(PageId(9)).is_err());
-        assert!(store.write_page(PageId(9), &page).is_err());
+        assert!(matches!(
+            store.read_page(PageId(9)),
+            Err(IrError::PageOutOfBounds {
+                page: 9,
+                num_pages: 3
+            })
+        ));
+        assert!(matches!(
+            store.write_page(PageId(9), &page),
+            Err(IrError::PageOutOfBounds {
+                page: 9,
+                num_pages: 3
+            })
+        ));
         assert!(store.write_page(PageId(0), &[1, 2, 3]).is_err());
 
         let next = store.allocate(1).unwrap();
         assert_eq!(next, PageId(3));
+    }
+
+    fn exercise_corruption(store: &dyn PageStore) {
+        store.allocate(2).unwrap();
+        let mut page = zeroed_page();
+        page[17] = 0xAB;
+        store.write_page(PageId(1), &page).unwrap();
+
+        store.corrupt_stored_byte(PageId(1), 17, 0xFF).unwrap();
+        let err = store.read_page(PageId(1)).unwrap_err();
+        assert!(
+            matches!(err, IrError::Corruption { page: Some(1), .. }),
+            "expected a corruption error naming page 1, got: {err}"
+        );
+        // The untouched page is unaffected.
+        store.read_page(PageId(0)).unwrap();
+        // XOR is self-inverse: re-applying the mask restores the page.
+        store.corrupt_stored_byte(PageId(1), 17, 0xFF).unwrap();
+        assert_eq!(store.read_page(PageId(1)).unwrap()[17], 0xAB);
+        // Out-of-range injection targets are rejected, not silently applied.
+        assert!(store.corrupt_stored_byte(PageId(9), 0, 0xFF).is_err());
+        assert!(store
+            .corrupt_stored_byte(PageId(0), PAGE_SIZE, 0xFF)
+            .is_err());
     }
 
     #[test]
@@ -315,6 +450,18 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("pages.bin");
         exercise_store(&FilePageStore::create(&path).unwrap());
+    }
+
+    #[test]
+    fn mem_store_detects_injected_corruption() {
+        exercise_corruption(&MemPageStore::new());
+    }
+
+    #[test]
+    fn file_store_detects_injected_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("pages.bin");
+        exercise_corruption(&FilePageStore::create(&path).unwrap());
     }
 
     #[test]
@@ -334,11 +481,35 @@ mod tests {
     }
 
     #[test]
+    fn create_writes_the_versioned_header() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("pages.bin");
+        FilePageStore::create(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), frame::HEADER_LEN);
+        assert_eq!(&bytes[..8], &frame::MAGIC);
+    }
+
+    #[test]
     fn open_rejects_truncated_file() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("broken.bin");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(FilePageStore::open(&path).is_err());
+        let err = FilePageStore::open(&path).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, IrError::Corruption { page: None, .. }),
+            "expected file-level corruption, got: {err}"
+        );
+    }
+
+    #[test]
+    fn open_rejects_a_foreign_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("not_pages.bin");
+        // Right shape (header + one frame), wrong magic.
+        std::fs::write(&path, vec![0xEEu8; frame::HEADER_LEN + frame::FRAME_LEN]).unwrap();
+        let err = FilePageStore::open(&path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
     }
 
     #[test]
@@ -353,7 +524,7 @@ mod tests {
         assert_eq!(snap.logical_reads, 4);
         assert_eq!(
             snap.read_syscalls, 4,
-            "positioned reads: exactly one syscall per page, not a seek+read pair"
+            "positioned frame reads: exactly one syscall per page, checksum included"
         );
         store.reset_io_stats();
         assert_eq!(store.io_snapshot(), IoStatsSnapshot::default());

@@ -58,6 +58,8 @@ pub struct IoStats {
     physical_reads: AtomicU64,
     pages_written: AtomicU64,
     read_syscalls: AtomicU64,
+    read_retries: AtomicU64,
+    write_retries: AtomicU64,
 }
 
 /// An immutable snapshot of the counters, suitable for diffing before/after a
@@ -77,6 +79,11 @@ pub struct IoStatsSnapshot {
     /// this counter makes visible), one `mmap(2)` (re)establishment per
     /// mapping for the mmap store, and zero for the memory store.
     pub read_syscalls: u64,
+    /// Page reads that had to be re-issued after a transient storage fault
+    /// (see `RetryPolicy` on the buffer pool). Zero on a healthy device.
+    pub read_retries: u64,
+    /// Page writes re-issued after a transient storage fault.
+    pub write_retries: u64,
 }
 
 impl IoStats {
@@ -109,6 +116,18 @@ impl IoStats {
         self.read_syscalls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a page read re-issued after a transient fault.
+    #[inline]
+    pub fn record_read_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page write re-issued after a transient fault.
+    #[inline]
+    pub fn record_write_retry(&self) {
+        self.write_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -116,6 +135,8 @@ impl IoStats {
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             pages_written: self.pages_written.load(Ordering::Relaxed),
             read_syscalls: self.read_syscalls.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -125,6 +146,8 @@ impl IoStats {
         self.physical_reads.store(0, Ordering::Relaxed);
         self.pages_written.store(0, Ordering::Relaxed);
         self.read_syscalls.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
+        self.write_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -196,6 +219,18 @@ impl ShardedIoStats {
         self.shard().record_read_syscall();
     }
 
+    /// Records a retried page read in the calling thread's shard.
+    #[inline]
+    pub fn record_read_retry(&self) {
+        self.shard().record_read_retry();
+    }
+
+    /// Records a retried page write in the calling thread's shard.
+    #[inline]
+    pub fn record_write_retry(&self) {
+        self.shard().record_write_retry();
+    }
+
     /// The merged snapshot: counter-wise sum over every shard.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         self.shards
@@ -231,6 +266,8 @@ impl IoStatsSnapshot {
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             pages_written: self.pages_written.saturating_sub(earlier.pages_written),
             read_syscalls: self.read_syscalls.saturating_sub(earlier.read_syscalls),
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            write_retries: self.write_retries.saturating_sub(earlier.write_retries),
         }
     }
 
@@ -241,6 +278,8 @@ impl IoStatsSnapshot {
             physical_reads: self.physical_reads + other.physical_reads,
             pages_written: self.pages_written + other.pages_written,
             read_syscalls: self.read_syscalls + other.read_syscalls,
+            read_retries: self.read_retries + other.read_retries,
+            write_retries: self.write_retries + other.write_retries,
         }
     }
 }
@@ -295,11 +334,15 @@ mod tests {
         stats.record_physical_read();
         stats.record_write();
         stats.record_read_syscall();
+        stats.record_read_retry();
+        stats.record_write_retry();
         let snap = stats.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.pages_written, 1);
         assert_eq!(snap.read_syscalls, 1);
+        assert_eq!(snap.read_retries, 1);
+        assert_eq!(snap.write_retries, 1);
         stats.reset();
         assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
     }
@@ -311,18 +354,24 @@ mod tests {
             physical_reads: 4,
             pages_written: 1,
             read_syscalls: 4,
+            read_retries: 1,
+            write_retries: 0,
         };
         let b = IoStatsSnapshot {
             logical_reads: 25,
             physical_reads: 9,
             pages_written: 1,
             read_syscalls: 9,
+            read_retries: 3,
+            write_retries: 1,
         };
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 15);
         assert_eq!(d.physical_reads, 5);
         assert_eq!(d.pages_written, 0);
         assert_eq!(d.read_syscalls, 5);
+        assert_eq!(d.read_retries, 2);
+        assert_eq!(d.write_retries, 1);
         let s = a.plus(&d);
         assert_eq!(s, b);
         // `since` saturates rather than underflowing.
@@ -379,6 +428,8 @@ mod tests {
             physical_reads: 10,
             pages_written: 0,
             read_syscalls: 10,
+            read_retries: 0,
+            write_retries: 0,
         };
         assert_eq!(cfg.simulated_io_time(&snap), Duration::from_millis(50));
         assert_eq!(

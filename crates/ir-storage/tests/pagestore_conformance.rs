@@ -9,6 +9,7 @@
 
 use ir_storage::page::zeroed_page;
 use ir_storage::{PageId, PageStore, PAGE_SIZE};
+use ir_types::IrError;
 use proptest::prelude::*;
 use std::path::Path;
 use std::sync::Arc;
@@ -117,6 +118,53 @@ fn check_reopen_persistence(
         .all(|&b| b == 0));
 }
 
+/// Error paths are typed and identical across backends: out-of-range pages
+/// surface [`IrError::PageOutOfBounds`] with exact coordinates (not a
+/// stringly error, not a panic), short writes are rejected, and a damaged
+/// stored byte surfaces [`IrError::Corruption`] naming the page — healed by
+/// re-flipping (XOR) the same byte, after which the store serves the
+/// original data again.
+fn check_typed_error_paths(store: &dyn PageStore) {
+    store.allocate(2).unwrap();
+    let err = store.read_page(PageId(5)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            IrError::PageOutOfBounds {
+                page: 5,
+                num_pages: 2
+            }
+        ),
+        "{err:?}"
+    );
+    let err = store.write_page(PageId(2), &patterned_page(1)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            IrError::PageOutOfBounds {
+                page: 2,
+                num_pages: 2
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(store.write_page(PageId(0), &[1, 2, 3]).is_err());
+
+    store.write_page(PageId(1), &patterned_page(3)).unwrap();
+    store.corrupt_stored_byte(PageId(1), 40, 0x20).unwrap();
+    let err = store.read_page(PageId(1)).unwrap_err();
+    assert!(
+        matches!(err, IrError::Corruption { page: Some(1), .. }),
+        "{err:?}"
+    );
+    // Neighbouring pages are unaffected, and re-applying the XOR heals.
+    assert!(store.read_page(PageId(0)).is_ok());
+    store.corrupt_stored_byte(PageId(1), 40, 0x20).unwrap();
+    assert_eq!(store.read_page(PageId(1)).unwrap(), patterned_page(3));
+    // Corruption offsets past the payload are rejected, not wrapped.
+    assert!(store.corrupt_stored_byte(PageId(1), PAGE_SIZE, 1).is_err());
+}
+
 /// Proptest sweep: an arbitrary interleaving of writes and reads behaves
 /// exactly like the trivial in-memory model.
 fn check_pattern_sweep(store: &dyn PageStore, ops: &[(u8, u8)]) {
@@ -165,6 +213,12 @@ macro_rules! conformance {
             }
 
             #[test]
+            fn typed_error_paths() {
+                let dir = tempfile::tempdir().unwrap();
+                check_typed_error_paths(CREATE(dir.path()).as_ref());
+            }
+
+            #[test]
             fn reopen_persistence() {
                 let open: Option<fn(&Path) -> Arc<dyn PageStore>> = $open;
                 if let Some(open) = open {
@@ -188,6 +242,22 @@ macro_rules! conformance {
 
 conformance!(mem, |_dir| Arc::new(ir_storage::MemPageStore::new()), None);
 
+// An armed fault injector executing the *empty* plan must be a perfect
+// passthrough — the whole contract, error paths included, holds through the
+// wrapper.
+conformance!(
+    faulty_mem_passthrough,
+    |_dir| {
+        let store = ir_storage::FaultInjectingPageStore::new(
+            Arc::new(ir_storage::MemPageStore::new()),
+            ir_storage::FaultPlan::default(),
+        );
+        store.arm();
+        store
+    },
+    None
+);
+
 conformance!(
     file,
     |dir| Arc::new(ir_storage::FilePageStore::create(dir.join("pages.bin")).unwrap()),
@@ -206,6 +276,53 @@ conformance!(
             as Arc<dyn PageStore>
     })
 );
+
+/// Every persistent backend rejects files that are not (whole) page files
+/// with a typed file-level corruption error — no panic, no misread.
+#[test]
+fn open_rejects_garbage_files() {
+    fn assert_rejected(path: &Path, what: &str) {
+        let err = ir_storage::FilePageStore::open(path)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, IrError::Corruption { page: None, .. }),
+            "file store, {what}: {err:?}"
+        );
+        #[cfg(feature = "mmap")]
+        {
+            let err = ir_storage::MmapPageStore::open(path)
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, IrError::Corruption { page: None, .. }),
+                "mmap store, {what}: {err:?}"
+            );
+        }
+    }
+
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("garbage.bin");
+
+    // Shorter than the header.
+    std::fs::write(&path, b"short").unwrap();
+    assert_rejected(&path, "truncated header");
+
+    // Plausible length, wrong magic.
+    std::fs::write(&path, vec![0xAAu8; 64 + PAGE_SIZE + 8]).unwrap();
+    assert_rejected(&path, "foreign content");
+
+    // Valid header followed by a torn (partial) frame.
+    let store_path = dir.path().join("torn.bin");
+    {
+        let store = ir_storage::FilePageStore::create(&store_path).unwrap();
+        store.allocate(1).unwrap();
+    }
+    let mut bytes = std::fs::read(&store_path).unwrap();
+    bytes.truncate(bytes.len() - 1);
+    std::fs::write(&store_path, &bytes).unwrap();
+    assert_rejected(&store_path, "torn trailing frame");
+}
 
 /// The file formats are interchangeable: pages written by the positioned-
 /// read file store are served verbatim by the mmap store and vice versa —

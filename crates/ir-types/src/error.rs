@@ -53,6 +53,56 @@ pub enum IrError {
     Io(io::Error),
     /// Invalid configuration of an algorithm or generator.
     InvalidConfig(String),
+    /// A page access named a page the store has never allocated.
+    PageOutOfBounds {
+        /// The requested page index.
+        page: u32,
+        /// Number of pages the store holds.
+        num_pages: u32,
+    },
+    /// A physical page failed its checksum (or a page file failed its header
+    /// validation): the stored bytes are not what was written.
+    Corruption {
+        /// The corrupted page, when the failure is attributable to one
+        /// (`None` for file-level damage such as a bad header).
+        page: Option<u32>,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A worker thread panicked while executing a job; the panic was caught
+    /// at the driver boundary and the remaining jobs were unaffected.
+    WorkerPanicked {
+        /// Which job panicked (e.g. `"query 3"` or `"dimension 1"`).
+        job: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A transient storage fault persisted through every allowed retry.
+    RetryExhausted {
+        /// How many attempts were made (including the first).
+        attempts: u32,
+        /// The transient error observed on the final attempt.
+        source: Box<IrError>,
+    },
+}
+
+impl IrError {
+    /// Whether this error is *transient*: the same operation may well
+    /// succeed if simply retried (interrupted syscalls, timeouts,
+    /// momentarily unavailable devices). The buffer pool's `RetryPolicy`
+    /// (in `ir-storage`) only retries errors for which this returns `true`;
+    /// everything else —
+    /// corruption, out-of-bounds accesses, permanent device failures — is
+    /// surfaced immediately.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            IrError::Io(err) => matches!(
+                err.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for IrError {
@@ -83,6 +133,23 @@ impl fmt::Display for IrError {
             IrError::Storage(msg) => write!(f, "storage error: {msg}"),
             IrError::Io(err) => write!(f, "I/O error: {err}"),
             IrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            IrError::PageOutOfBounds { page, num_pages } => {
+                write!(
+                    f,
+                    "page {page} is out of bounds (store has {num_pages} pages)"
+                )
+            }
+            IrError::Corruption { page, detail } => match page {
+                Some(page) => write!(f, "corruption detected on page {page}: {detail}"),
+                None => write!(f, "corruption detected: {detail}"),
+            },
+            IrError::WorkerPanicked { job, message } => {
+                write!(f, "worker panicked while running {job}: {message}")
+            }
+            IrError::RetryExhausted { attempts, source } => write!(
+                f,
+                "transient storage fault persisted through {attempts} attempts: {source}"
+            ),
         }
     }
 }
@@ -91,6 +158,7 @@ impl std::error::Error for IrError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IrError::Io(err) => Some(err),
+            IrError::RetryExhausted { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -122,6 +190,75 @@ mod tests {
         let err: IrError = io::Error::new(io::ErrorKind::NotFound, "missing page file").into();
         assert!(err.to_string().contains("missing page file"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn transience_is_limited_to_retryable_io_kinds() {
+        let transient: IrError = io::Error::new(io::ErrorKind::Interrupted, "try again").into();
+        assert!(transient.is_transient());
+        let permanent: IrError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!permanent.is_transient());
+        assert!(!IrError::Storage("injected device failure".into()).is_transient());
+        assert!(!IrError::Corruption {
+            page: Some(3),
+            detail: "checksum mismatch".into(),
+        }
+        .is_transient());
+        // An exhausted retry is final even though its source was transient.
+        let exhausted = IrError::RetryExhausted {
+            attempts: 3,
+            source: Box::new(transient),
+        };
+        assert!(!exhausted.is_transient());
+    }
+
+    #[test]
+    fn corruption_display_names_the_page_when_known() {
+        let with_page = IrError::Corruption {
+            page: Some(12),
+            detail: "checksum mismatch".to_string(),
+        };
+        assert!(with_page.to_string().contains("page 12"));
+        assert!(with_page.to_string().contains("checksum mismatch"));
+        let file_level = IrError::Corruption {
+            page: None,
+            detail: "bad magic".to_string(),
+        };
+        assert!(!file_level.to_string().contains("page"));
+        assert!(file_level.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn worker_panicked_display_names_the_job() {
+        let err = IrError::WorkerPanicked {
+            job: "query 3".to_string(),
+            message: "boom".to_string(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("query 3"));
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn retry_exhausted_chains_its_source() {
+        let source: IrError = io::Error::new(io::ErrorKind::Interrupted, "flaky read").into();
+        let err = IrError::RetryExhausted {
+            attempts: 4,
+            source: Box::new(source),
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains("flaky read"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn page_out_of_bounds_display_mentions_both_sides() {
+        let err = IrError::PageOutOfBounds {
+            page: 9,
+            num_pages: 4,
+        };
+        assert!(err.to_string().contains('9'));
+        assert!(err.to_string().contains('4'));
     }
 
     #[test]
