@@ -37,7 +37,16 @@
 #                          tolerance; the policy stamps are asserted so a
 #                          backend-selection regression cannot make the
 #                          matrix pass vacuously
-#  11. bench baseline    — bench_diff compares the stage-9 series against
+#  11. snapshot matrix   — a figure runner served from a persisted index
+#                          snapshot (--snapshot-dir) under every backend
+#                          must emit *exactly* the built-index series
+#                          (bench_diff --exact), with the policy stamps
+#                          asserted ("source":"Snapshot") so a staging
+#                          regression cannot pass vacuously; the cold_start
+#                          runner then self-checks the snapshot's bring-up
+#                          win conditions (pages touched / bytes decoded,
+#                          never wall-clock) in both feature configs
+#  12. bench baseline    — bench_diff compares the stage-9 series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -73,21 +82,21 @@ RUNNER_BINS=(figure06_partitions figure10_wsj_qlen figure11_st_qlen
 
 MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap"
 
-begin_stage "1/11 cargo fmt --check"
+begin_stage "1/12 cargo fmt --check"
 cargo fmt --all --check
 end_stage
 
-begin_stage "2/11 cargo clippy (default + mmap), warnings are errors"
+begin_stage "2/12 cargo clippy (default + mmap), warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features "$MMAP_FEATURES" -- -D warnings
 end_stage
 
-begin_stage "3/11 tier-1: cargo build --release && cargo test -q"
+begin_stage "3/12 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 end_stage
 
-begin_stage "4/11 feature matrix + no-unsafe assertions"
+begin_stage "4/12 feature matrix + no-unsafe assertions"
 for crate in ir-storage immutable-regions; do
     for flags in "--no-default-features" "" "--features mmap"; do
         printf -- '--- %s %s\n' "$crate" "${flags:-"(default)"}"
@@ -126,7 +135,7 @@ fi
 echo "no-unsafe assertions hold"
 end_stage
 
-begin_stage "5/11 robustness: chaos suite + unwrap/expect lint gate"
+begin_stage "5/12 robustness: chaos suite + unwrap/expect lint gate"
 # The chaos suite injects seeded faults (transients, outages, corruption,
 # worker panics) into every backend at 1/2/8 workers and asserts typed
 # errors, byte-identical recovery and a serviceable engine afterwards.
@@ -140,7 +149,7 @@ cargo clippy -q --no-deps -p ir-storage --features mmap --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 end_stage
 
-begin_stage "6/11 cargo doc --no-deps (rustdoc warnings are errors)"
+begin_stage "6/12 cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
     -p ir-datagen -p ir-bench -p immutable-regions
@@ -148,7 +157,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-storage --features mmap
 end_stage
 
-begin_stage "7/11 benches compile"
+begin_stage "7/12 benches compile"
 cargo bench --no-run
 end_stage
 
@@ -157,9 +166,17 @@ emit_dir_t2="$(mktemp -d)"
 emit_dir_mmap_t1="$(mktemp -d)"
 emit_dir_mmap_t2="$(mktemp -d)"
 emit_dir_file_t2="$(mktemp -d)"
-trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" "$emit_dir_file_t2"' EXIT
+snap_root="$(mktemp -d)"
+snap_built="$(mktemp -d)"
+snap_mem="$(mktemp -d)"
+snap_file="$(mktemp -d)"
+snap_mmap="$(mktemp -d)"
+cold_dir="$(mktemp -d)"
+trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" \
+    "$emit_dir_file_t2" "$snap_root" "$snap_built" "$snap_mem" "$snap_file" \
+    "$snap_mmap" "$cold_dir"' EXIT
 
-begin_stage "8/11 example + figure-runner smoke loop (sequential, mem)"
+begin_stage "8/12 example + figure-runner smoke loop (sequential, mem)"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -173,7 +190,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "9/11 figure runners at --threads 2 (parallel path) + JSON emission"
+begin_stage "9/12 figure runners at --threads 2 (parallel path) + JSON emission"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
@@ -181,7 +198,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "10/11 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
+begin_stage "10/12 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (mmap, threads=1): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
@@ -221,7 +238,44 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_mmap_t2"
 end_stage
 
-begin_stage "11/11 bench_diff against committed baseline"
+begin_stage "11/12 snapshot matrix: save/reopen under every backend + exact diff"
+# Built-index oracle emission for the representative figure (mem, threads 2).
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
+    --threads 2 --emit-json "$snap_built" >/dev/null
+# The same figure served from a persisted snapshot under every backend: the
+# runner builds once in memory, saves into $snap_root, reopens zero-copy.
+printf -- '--- snapshot-served (mem, threads=2)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
+    --threads 2 --snapshot-dir "$snap_root" --emit-json "$snap_mem" >/dev/null
+printf -- '--- snapshot-served (file, threads=2)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
+    --backend file --threads 2 --snapshot-dir "$snap_root" --emit-json "$snap_file" >/dev/null
+printf -- '--- snapshot-served (mmap, threads=2)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
+    --bin figure11_st_qlen -- \
+    --backend mmap --threads 2 --snapshot-dir "$snap_root" --emit-json "$snap_mmap" >/dev/null
+# Snapshot-served output must be *exactly* the built-index output in every
+# deterministic metric, and the policy stamp must prove the engine really
+# came up from a snapshot (guard against a vacuous staging path).
+for d in "$snap_mem" "$snap_file" "$snap_mmap"; do
+    cargo run --release -q -p ir-bench --bin bench_diff -- --exact "$snap_built" "$d"
+    grep -q '"source":"Snapshot"' "$d"/BENCH_*.json ||
+        { echo "FAIL: $d was not served from a snapshot" >&2; exit 1; }
+done
+# The dedicated cold-start runner exits non-zero unless the snapshot open
+# beats the build on the deterministic work metrics (bytes decoded on every
+# backend, pages touched on file/mmap).
+printf -- '--- cold_start runner (default features)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin cold_start -- \
+    --emit-json "$cold_dir"
+printf -- '--- cold_start runner (mmap)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
+    --bin cold_start >/dev/null
+grep -q '"source":"Snapshot"' "$cold_dir"/BENCH_coldstart.json ||
+    { echo "FAIL: BENCH_coldstart.json carries no snapshot stamp" >&2; exit 1; }
+end_stage
+
+begin_stage "12/12 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_t2"
 end_stage

@@ -39,7 +39,8 @@ use ir_core::{
     RegionReport,
 };
 use ir_storage::{
-    BackendKind, FaultPlan, IndexBuilder, IoConfig, RetryPolicy, StorageBackend, TopKIndex,
+    BackendKind, ColdStartInfo, FaultPlan, IndexBuilder, IoConfig, RetryPolicy, SnapshotSummary,
+    StorageBackend, TopKIndex,
 };
 use ir_topk::TaConfig;
 use ir_types::{Dataset, DimId, IrError, QueryVector, TopKResult};
@@ -81,6 +82,23 @@ pub enum EngineError {
     ZeroWeightQuery,
     /// [`IrEngineBuilder::build`] was called without a dataset or index.
     NoSource,
+    /// [`IrEngine::save_snapshot`] failed; the directory is named so an
+    /// operator can tell a permissions/space problem from a device fault.
+    SnapshotSave {
+        /// Directory the snapshot was being written into.
+        dir: PathBuf,
+        /// The underlying storage error.
+        source: IrError,
+    },
+    /// [`IrEngineBuilder::open_snapshot`] failed — a missing, foreign,
+    /// corrupt or version-bumped snapshot file, or a device fault during
+    /// the trailer read.
+    SnapshotOpen {
+        /// Directory the snapshot was being opened from.
+        dir: PathBuf,
+        /// The underlying storage error.
+        source: IrError,
+    },
     /// An engine policy could not be loaded or was inconsistent.
     Policy(String),
     /// Any other error from the underlying stack (storage, TA, solvers).
@@ -108,6 +126,12 @@ impl fmt::Display for EngineError {
             EngineError::NoSource => {
                 write!(f, "engine builder needs a dataset or a prebuilt index")
             }
+            EngineError::SnapshotSave { dir, source } => {
+                write!(f, "saving snapshot to {}: {source}", dir.display())
+            }
+            EngineError::SnapshotOpen { dir, source } => {
+                write!(f, "opening snapshot from {}: {source}", dir.display())
+            }
             EngineError::Policy(msg) => write!(f, "invalid engine policy: {msg}"),
             EngineError::Core(err) => write!(f, "{err}"),
         }
@@ -117,7 +141,9 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            EngineError::Core(err) => Some(err),
+            EngineError::Core(err)
+            | EngineError::SnapshotSave { source: err, .. }
+            | EngineError::SnapshotOpen { source: err, .. } => Some(err),
             _ => None,
         }
     }
@@ -171,6 +197,14 @@ pub struct EnginePolicy {
     /// [`IrEngineBuilder::policy`]: a policy file describing a
     /// chaos-testing configuration is enough to reproduce it.
     pub fault_plan: Option<FaultPlan>,
+    /// How the engine's index came up and what deterministic work that cost
+    /// (built from the dataset vs opened from a snapshot; pages touched,
+    /// bytes parsed — see [`ColdStartInfo`]).
+    ///
+    /// Descriptive metadata, like `backend`: [`IrEngine::policy`] reports
+    /// what actually happened and the experiment harness stamps it into
+    /// emitted series; [`IrEngineBuilder::policy`] does not apply it.
+    pub cold_start: ColdStartInfo,
 }
 
 impl Default for EnginePolicy {
@@ -180,6 +214,7 @@ impl Default for EnginePolicy {
             threads: 1,
             backend: BackendKind::Mem,
             fault_plan: None,
+            cold_start: ColdStartInfo::default(),
         }
     }
 }
@@ -214,6 +249,8 @@ enum EngineSource<'d> {
     DatasetRef(&'d Dataset),
     /// Adopt a prebuilt index.
     Index(Arc<TopKIndex>),
+    /// Open a saved snapshot directory — no build pass at all.
+    Snapshot(PathBuf),
 }
 
 /// Builder for [`IrEngine`]: pick a data source, a storage backend, a
@@ -281,6 +318,23 @@ impl<'d> IrEngineBuilder<'d> {
     /// [`IndexBuilder::build_shared`](ir_storage::IndexBuilder::build_shared)).
     pub fn shared_index(mut self, index: Arc<TopKIndex>) -> Self {
         self.source = Some(EngineSource::Index(index));
+        self
+    }
+
+    /// Serves queries from a snapshot saved by [`IrEngine::save_snapshot`]
+    /// — cold start becomes a validate-header-and-serve operation with no
+    /// build pass (see
+    /// [`IndexBuilder::open_snapshot`](ir_storage::IndexBuilder::open_snapshot)).
+    ///
+    /// Storage options *do* compose with this source (unlike a prebuilt
+    /// index): [`IrEngineBuilder::backend`] selects how the snapshot file
+    /// is served — its kind only, any path on the variant is ignored — and
+    /// pool capacity, I/O model, retry policy and fault plan configure the
+    /// serving stack. A configured fault plan is armed *before* the trailer
+    /// read, so injected faults during the open surface as typed
+    /// [`EngineError::SnapshotOpen`] errors.
+    pub fn open_snapshot(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.source = Some(EngineSource::Snapshot(dir.into()));
         self
     }
 
@@ -395,11 +449,10 @@ impl<'d> IrEngineBuilder<'d> {
             ta_config,
             threads,
         } = self;
-        let build_index = move |dataset: &Dataset| -> EngineResult<Arc<TopKIndex>> {
-            if dataset.cardinality() == 0 {
-                return Err(EngineError::EmptyDataset);
-            }
-            let mut builder = IndexBuilder::new().backend(backend).fault_plan(fault_plan);
+        let index_builder = || {
+            let mut builder = IndexBuilder::new()
+                .backend(backend.clone())
+                .fault_plan(fault_plan.clone());
             if let Some(pages) = pool_capacity {
                 builder = builder.pool_capacity(pages);
             }
@@ -409,12 +462,28 @@ impl<'d> IrEngineBuilder<'d> {
             if let Some(retry) = retry_policy {
                 builder = builder.retry_policy(retry);
             }
-            Ok(builder.build_shared(dataset)?)
+            builder
+        };
+        let build_index = |dataset: &Dataset| -> EngineResult<Arc<TopKIndex>> {
+            if dataset.cardinality() == 0 {
+                return Err(EngineError::EmptyDataset);
+            }
+            Ok(index_builder().build_shared(dataset)?)
         };
         let index = match source {
             None => return Err(EngineError::NoSource),
             Some(EngineSource::Dataset(dataset)) => build_index(&dataset)?,
             Some(EngineSource::DatasetRef(dataset)) => build_index(dataset)?,
+            Some(EngineSource::Snapshot(dir)) => {
+                let index = index_builder()
+                    .open_snapshot(&dir)
+                    .map(Arc::new)
+                    .map_err(|source| EngineError::SnapshotOpen { dir, source })?;
+                if index.cardinality() == 0 {
+                    return Err(EngineError::EmptyDataset);
+                }
+                index
+            }
             Some(EngineSource::Index(index)) => {
                 if storage_knobs_set {
                     return Err(EngineError::Policy(
@@ -545,6 +614,7 @@ impl IrEngine {
             threads: self.threads,
             backend: self.index.backend_kind(),
             fault_plan: self.index.fault_plan().cloned(),
+            cold_start: self.index.cold_start_info(),
         }
     }
 
@@ -633,6 +703,27 @@ impl IrEngine {
     /// (what the experiment harness does between measured queries).
     pub fn cold_start(&self) {
         self.index.cold_start();
+    }
+
+    /// How this engine's index came up (built vs snapshot-opened) and what
+    /// deterministic work that cost — the numbers
+    /// `BENCH_coldstart.json` compares across sources and backends.
+    pub fn cold_start_info(&self) -> ColdStartInfo {
+        self.index.cold_start_info()
+    }
+
+    /// Saves the engine's index as a versioned snapshot under `dir`, for a
+    /// later [`IrEngineBuilder::open_snapshot`] to serve without rebuilding.
+    ///
+    /// Every data page is copied through the engine's buffer pool (so the
+    /// copy is checksum-verified and I/O-accounted). Do not save into the
+    /// directory a disk/mmap engine is currently serving from — see
+    /// [`TopKIndex::save_snapshot`].
+    pub fn save_snapshot(&self, dir: impl Into<PathBuf>) -> EngineResult<SnapshotSummary> {
+        let dir = dir.into();
+        self.index
+            .save_snapshot(&dir)
+            .map_err(|source| EngineError::SnapshotSave { dir, source })
     }
 
     /// Validates a query against the engine's index without running it,
@@ -956,6 +1047,11 @@ mod tests {
             threads: 4,
             backend: BackendKind::Mmap,
             fault_plan: Some(FaultPlan::transient_reads(7, 3, 100)),
+            cold_start: ir_storage::ColdStartInfo {
+                source: ir_storage::ColdStartSource::Snapshot,
+                pages: 17,
+                bytes: 4242,
+            },
         };
         let json = policy.to_json();
         assert_eq!(EnginePolicy::from_json(&json).unwrap(), policy);
@@ -1101,5 +1197,84 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::Policy(_)), "{err}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_the_facade() {
+        use ir_storage::ColdStartSource;
+
+        let built = engine();
+        assert_eq!(built.cold_start_info().source, ColdStartSource::Built);
+        assert_eq!(built.policy().cold_start.source, ColdStartSource::Built);
+
+        let dir = tempfile::tempdir().unwrap();
+        let summary = built.save_snapshot(dir.path()).unwrap();
+        assert!(summary.total_pages > summary.data_pages);
+
+        // Storage knobs compose with the snapshot source (unlike a
+        // prebuilt index): pool capacity + backend are the serving stack.
+        let reopened = IrEngine::builder()
+            .open_snapshot(dir.path())
+            .pool_capacity(8)
+            .threads(2)
+            .build()
+            .unwrap();
+        let info = reopened.cold_start_info();
+        assert_eq!(info.source, ColdStartSource::Snapshot);
+        assert!(
+            info.bytes < built.cold_start_info().bytes,
+            "snapshot open parses less than the build: {info:?}"
+        );
+        assert_eq!(reopened.policy().cold_start, info);
+
+        // Served regions are identical to the built engine's (stats carry
+        // timing/cache counters that legitimately differ, so compare the
+        // region payload).
+        let query = QueryVector::running_example();
+        let expected = built.query(&query).unwrap();
+        assert_eq!(reopened.query(&query).unwrap().dims, expected.dims);
+    }
+
+    #[test]
+    fn opening_a_missing_snapshot_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let err = IrEngine::builder()
+            .open_snapshot(dir.path().join("nope"))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotOpen { .. }), "{err}");
+        assert!(err.to_string().contains("opening snapshot"), "{err}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "the storage cause is chained"
+        );
+    }
+
+    #[test]
+    fn saving_over_an_unwritable_dir_is_a_typed_error() {
+        // A *file* where the snapshot directory should be: create_dir_all
+        // fails, and the failure names the directory.
+        let dir = tempfile::tempdir().unwrap();
+        let blocker = dir.path().join("blocked");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let err = engine().save_snapshot(&blocker).map(|_| ()).unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotSave { .. }), "{err}");
+        assert!(err.to_string().contains("saving snapshot"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_open_with_armed_faults_fails_typed_and_named() {
+        let dir = tempfile::tempdir().unwrap();
+        engine().save_snapshot(dir.path()).unwrap();
+        let err = IrEngine::builder()
+            .open_snapshot(dir.path())
+            .fault_plan(FaultPlan::device_outage(0, None))
+            .retry_policy(RetryPolicy::none())
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotOpen { .. }), "{err}");
+        assert!(err.to_string().contains("injected device failure"), "{err}");
     }
 }

@@ -123,10 +123,20 @@ fn quiet_panics() {
 #[test]
 fn transient_faults_heal_to_byte_identical_results() {
     let oracle = oracle_reports(4);
+    // The device's op counter is shared across workers, so with several
+    // threads the op index a retry attempt draws depends on scheduling: an
+    // attempt can land on *any* not-yet-consumed faulted op, not just the
+    // one after its last failure. Budgeting more attempts than the plan
+    // has faults makes healing a pigeonhole guarantee — at most 10 of the
+    // 12 attempts can be faulted — independent of interleaving.
+    let retry = RetryPolicy {
+        max_attempts: 12,
+        ..RetryPolicy::default()
+    };
     for backend in backend_names() {
         for threads in [1usize, 2, 8] {
             let plan = FaultPlan::transient_reads(7, 10, 400);
-            let engine = build_engine(backend, threads, Some(plan), RetryPolicy::default());
+            let engine = build_engine(backend, threads, Some(plan), retry);
             let reports = engine
                 .query_batch(&queries(4))
                 .unwrap_or_else(|e| panic!("{backend}/{threads}: {e}"));

@@ -23,7 +23,15 @@
 //!   `FaultPlan` in `FILE` (chaos benchmarking: measure a figure under
 //!   transient faults or injected latency). The plan is stamped into the
 //!   emitted policy metadata; without the flag the stamp is `null`, which
-//!   keeps the committed baselines byte-stable.
+//!   keeps the committed baselines byte-stable,
+//! * `--snapshot-dir DIR` (or env `IR_BENCH_SNAPSHOT_DIR`) — serve the
+//!   figure from a persisted index snapshot instead of a freshly built
+//!   index: the runner builds the index once in memory, saves it into a
+//!   unique staging directory under `DIR`, and reopens it zero-copy on
+//!   the requested backend. Deterministic query output is identical by
+//!   construction (the snapshot CI stage proves it with an exact diff);
+//!   the `cold_start` stamp in the emitted policy flips from `built` to
+//!   `snapshot` so a snapshot-served run is self-describing.
 //!
 //! The criterion benches reuse the same parser, so `cargo bench --
 //! --backend mmap` (or the env var) swaps their backend too.
@@ -35,10 +43,29 @@ use crate::emit::{table_to_series, write_figure};
 use crate::runner::ExperimentTable;
 use immutable_regions::engine::EnginePolicy;
 use ir_core::RegionConfig;
-use ir_storage::{BackendKind, FaultPlan, StorageBackend};
+use ir_storage::{BackendKind, ColdStartInfo, FaultPlan, StorageBackend};
 use ir_types::{IrError, IrResult};
+use std::cell::Cell;
 use std::path::PathBuf;
 use std::time::Instant;
+
+thread_local! {
+    // The cold-start provenance of the most recently prepared engine on
+    // this thread, stamped into emitted policies. A thread-local cell (not
+    // a BenchArgs field) because the engine is prepared long after the
+    // arguments are parsed, by workload helpers that never see the
+    // emission path; runners prepare and emit on one thread.
+    static LAST_COLD_START: Cell<Option<ColdStartInfo>> = const { Cell::new(None) };
+}
+
+/// Records how the most recently prepared engine came up (built from the
+/// dataset or reopened from a snapshot) so [`BenchArgs::policy_with`] can
+/// stamp it into emitted `BENCH_<figure>.json` metadata. Called by the
+/// workload preparation helpers; thread-local, so call it on the thread
+/// that later emits.
+pub fn note_cold_start(info: ColdStartInfo) {
+    LAST_COLD_START.with(|cell| cell.set(Some(info)));
+}
 
 /// Materializes a backend kind as a concrete [`StorageBackend`], creating a
 /// scratch page directory for the file and mmap backends.
@@ -81,6 +108,10 @@ pub struct BenchArgs {
     /// Fault plan the index's device executes, loaded eagerly from the
     /// `--fault-plan` JSON file (default: none — a well-behaved device).
     pub fault_plan: Option<FaultPlan>,
+    /// Staging root for snapshot-served runs (`--snapshot-dir`): when set,
+    /// the workload helpers save the built index as a snapshot under this
+    /// directory and serve the figure from the reopened snapshot.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -137,6 +168,7 @@ impl BenchArgs {
         let mut backend: Option<BackendKind> = None;
         let mut emit_dir: Option<PathBuf> = None;
         let mut fault_plan: Option<FaultPlan> = None;
+        let mut snapshot_dir: Option<PathBuf> = None;
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             if let Some(value) = flag_value(&arg, "--threads", &mut args) {
@@ -162,6 +194,8 @@ impl BenchArgs {
                 emit_dir = Some(PathBuf::from(dir));
             } else if let Some(path) = flag_value(&arg, "--fault-plan", &mut args) {
                 fault_plan = Some(load_fault_plan("--fault-plan", &path));
+            } else if let Some(dir) = flag_value(&arg, "--snapshot-dir", &mut args) {
+                snapshot_dir = Some(PathBuf::from(dir));
             }
         }
         let threads = threads
@@ -193,11 +227,14 @@ impl BenchArgs {
                 .ok()
                 .map(|path| load_fault_plan("IR_BENCH_FAULT_PLAN", &path))
         });
+        let snapshot_dir =
+            snapshot_dir.or_else(|| std::env::var("IR_BENCH_SNAPSHOT_DIR").ok().map(Into::into));
         BenchArgs {
             threads,
             backend,
             emit_dir,
             fault_plan,
+            snapshot_dir,
         }
     }
 
@@ -211,15 +248,19 @@ impl BenchArgs {
     /// files: `config` is the figure's serving template (see
     /// [`BenchArgs::emit_with`]; the per-series algorithm and the figure's
     /// x-axis parameter override it row by row), `threads` is the parsed
-    /// worker count, `backend` the parsed storage backend and `fault_plan`
+    /// worker count, `backend` the parsed storage backend, `fault_plan`
     /// the loaded chaos plan (`null` for ordinary runs, keeping the
-    /// committed baselines stable).
+    /// committed baselines stable) and `cold_start` the provenance of the
+    /// engine most recently prepared on this thread (see
+    /// [`note_cold_start`]; the all-zero `built` default before any engine
+    /// is prepared).
     pub fn policy_with(&self, config: RegionConfig) -> EnginePolicy {
         EnginePolicy {
             config,
             threads: self.threads,
             backend: self.backend,
             fault_plan: self.fault_plan.clone(),
+            cold_start: LAST_COLD_START.with(Cell::get).unwrap_or_default(),
         }
     }
 
@@ -354,6 +395,35 @@ mod tests {
             .policy_with(RegionConfig::default())
             .to_json()
             .contains("\"fault_plan\":null"));
+    }
+
+    #[test]
+    fn parses_snapshot_dir_flag() {
+        let args = BenchArgs::from_arg_list(strings(&["--snapshot-dir", "/tmp/snaps"]));
+        assert_eq!(args.snapshot_dir, Some(PathBuf::from("/tmp/snaps")));
+        let args = BenchArgs::from_arg_list(strings(&["--snapshot-dir=staged"]));
+        assert_eq!(args.snapshot_dir, Some(PathBuf::from("staged")));
+        assert_eq!(BenchArgs::from_arg_list(strings(&[])).snapshot_dir, None);
+    }
+
+    #[test]
+    fn policy_stamps_the_noted_cold_start() {
+        use ir_storage::ColdStartSource;
+
+        let args = BenchArgs::from_arg_list(strings(&[]));
+        // Each #[test] runs on a fresh thread, so before any engine is
+        // prepared here the stamp is the all-zero `built` default.
+        assert_eq!(
+            args.policy_with(RegionConfig::default()).cold_start,
+            ColdStartInfo::default()
+        );
+        let info = ColdStartInfo {
+            source: ColdStartSource::Snapshot,
+            pages: 3,
+            bytes: 100,
+        };
+        note_cold_start(info);
+        assert_eq!(args.policy_with(RegionConfig::default()).cold_start, info);
     }
 
     #[test]

@@ -8,6 +8,19 @@ use ir_datagen::{
 };
 use ir_storage::{BackendKind, FaultPlan, TopKIndex};
 use ir_types::{Dataset, IrResult};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique staging directory under `root` for one saved snapshot.
+///
+/// Process id plus a process-wide counter keeps concurrent runners (and
+/// repeated preparations inside one runner) from saving over each other
+/// when they share one `--snapshot-dir`.
+fn unique_snapshot_dir(root: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    root.join(format!("snap-{}-{}", std::process::id(), n))
+}
 
 /// Dataset scale, selected with the `IR_BENCH_SCALE` environment variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,12 +171,14 @@ impl BenchDataset {
         threads: usize,
         backend: BackendKind,
     ) -> EngineResult<(IrEngine, QueryWorkload)> {
-        self.prepare_engine_faulty(scale, qlen, k, num_queries, threads, backend, None)
+        self.prepare_engine_faulty(scale, qlen, k, num_queries, threads, backend, None, None)
     }
 
     /// [`BenchDataset::prepare_engine`] driven by parsed runner options —
-    /// worker count, storage backend and (for chaos benchmarking) the
-    /// optional fault plan from `--fault-plan`.
+    /// worker count, storage backend, the optional fault plan from
+    /// `--fault-plan` and the optional snapshot staging root from
+    /// `--snapshot-dir` (serve the figure from a reopened snapshot instead
+    /// of the freshly built index).
     pub fn prepare_engine_for(
         &self,
         scale: Scale,
@@ -180,12 +195,21 @@ impl BenchDataset {
             args.threads,
             args.backend,
             args.fault_plan.clone(),
+            args.snapshot_dir.as_deref(),
         )
     }
 
-    /// [`BenchDataset::prepare_engine`] with an optional [`FaultPlan`]: the
-    /// engine's device executes the plan, armed after the index build so
-    /// the injected faults strike the measured queries.
+    /// [`BenchDataset::prepare_engine`] with an optional [`FaultPlan`] and
+    /// an optional snapshot staging root.
+    ///
+    /// With a fault plan the engine's device executes it, armed after the
+    /// index build (or after the snapshot trailer read) so the injected
+    /// faults strike the measured queries. With a snapshot root the index
+    /// is built once in memory, saved into a unique staging directory
+    /// under the root, and the serving engine is reopened from that
+    /// snapshot on the requested backend — deterministic query output is
+    /// identical either way; only the cold-start provenance (stamped via
+    /// [`crate::cli::note_cold_start`]) differs.
     #[allow(clippy::too_many_arguments)]
     pub fn prepare_engine_faulty(
         &self,
@@ -196,9 +220,39 @@ impl BenchDataset {
         threads: usize,
         backend: BackendKind,
         fault_plan: Option<FaultPlan>,
+        snapshot_dir: Option<&Path>,
     ) -> EngineResult<(IrEngine, QueryWorkload)> {
         let dataset = self.generate(scale);
         let workload = self.workload_for(&dataset, qlen, k, num_queries)?;
+        if let Some(root) = snapshot_dir {
+            // Build a pristine in-memory index once, persist it, and let
+            // the staged snapshot serve the figure. The builder engine
+            // never sees the fault plan: faults are meant to strike the
+            // measured (snapshot-served) engine, mirroring how the built
+            // path arms them only after construction.
+            let staged = unique_snapshot_dir(root);
+            let built = IrEngine::builder().dataset_ref(&dataset).build()?;
+            built.save_snapshot(&staged)?;
+            drop(built);
+            // With a snapshot source only the backend's *kind* matters
+            // (the snapshot file is served in place); the staged path on
+            // the variant documents where the pages live.
+            let storage = match backend {
+                BackendKind::Mem => ir_storage::StorageBackend::Memory,
+                BackendKind::File => ir_storage::StorageBackend::Disk(staged.clone()),
+                BackendKind::Mmap => ir_storage::StorageBackend::Mmap(staged.clone()),
+            };
+            let mut builder = IrEngine::builder()
+                .open_snapshot(&staged)
+                .backend(storage)
+                .threads(threads);
+            if let Some(plan) = fault_plan {
+                builder = builder.fault_plan(plan);
+            }
+            let engine = builder.build()?;
+            crate::cli::note_cold_start(engine.cold_start_info());
+            return Ok((engine, workload));
+        }
         let (storage, scratch) = crate::cli::materialize_backend(backend)?;
         let mut builder = IrEngine::builder()
             .dataset_ref(&dataset)
@@ -208,6 +262,7 @@ impl BenchDataset {
             builder = builder.fault_plan(plan);
         }
         let engine = builder.build()?;
+        crate::cli::note_cold_start(engine.cold_start_info());
         // The scratch guard may drop now: the store holds its descriptor to
         // the (unlinked) page file for the engine's lifetime.
         drop(scratch);
@@ -242,6 +297,37 @@ mod tests {
     fn scale_from_env_defaults_to_smoke() {
         std::env::remove_var("IR_BENCH_SCALE");
         assert_eq!(Scale::from_env(), Scale::Smoke);
+    }
+
+    #[test]
+    fn prepare_engine_with_snapshot_dir_serves_identically() {
+        use ir_storage::ColdStartSource;
+
+        let root = tempfile::tempdir().unwrap();
+        let args = crate::cli::BenchArgs {
+            snapshot_dir: Some(root.path().to_path_buf()),
+            ..Default::default()
+        };
+        let (engine, workload) = BenchDataset::St
+            .prepare_engine_for(Scale::Smoke, 2, 5, 2, &args)
+            .unwrap();
+        let info = engine.cold_start_info();
+        assert_eq!(info.source, ColdStartSource::Snapshot);
+        // The stamp reaches the emitted policy metadata (same thread).
+        let policy = args.policy_with(ir_core::RegionConfig::default());
+        assert_eq!(policy.cold_start, info);
+
+        // Deterministic output identical to the built path.
+        let (built, _) = BenchDataset::St
+            .prepare_engine(Scale::Smoke, 2, 5, 2, 1, BackendKind::Mem)
+            .unwrap();
+        assert_eq!(built.cold_start_info().source, ColdStartSource::Built);
+        for query in workload.queries() {
+            assert_eq!(
+                engine.query(query).unwrap().dims,
+                built.query(query).unwrap().dims
+            );
+        }
     }
 
     #[test]

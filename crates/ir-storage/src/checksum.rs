@@ -1,0 +1,35 @@
+//! Shared checksum helper for every on-disk artifact of the crate.
+//!
+//! Both the per-page frame trailer ([`crate::page::frame`]) and the index
+//! snapshot superheader ([`crate::snapshot`]) seal their bytes with the same
+//! FNV-1a-64 hash, so the single implementation lives here.
+
+/// FNV-1a 64-bit hash — the checksum of every on-disk format in this crate
+/// (page-frame trailers and the snapshot superheader).
+///
+/// Hand-rolled (no external crate is vendored): a simple, fast,
+/// well-distributed non-cryptographic hash. It is not meant to resist an
+/// adversary, only to catch bit rot, torn writes and driver bugs.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in data {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -13,8 +13,9 @@
 
 use crate::buffer::{BufferPool, RetryPolicy, DEFAULT_POOL_CAPACITY};
 use crate::fault::{FaultInjectingPageStore, FaultPlan};
-use crate::inverted::{write_list, InvertedListCursor, ListDirectoryEntry};
+use crate::inverted::{write_list, InvertedListCursor, ListDirectoryEntry, ENTRY_BYTES};
 use crate::pagestore::{FilePageStore, MemPageStore, PageStore};
+use crate::snapshot::{self, SnapshotSummary};
 use crate::stats::{IoConfig, IoStatsSnapshot};
 use crate::tuplestore::{write_tuples, TupleReader, TupleRegion};
 use ir_types::{Dataset, DimId, IrError, IrResult, SparseVector, TupleId};
@@ -101,6 +102,46 @@ impl FromStr for BackendKind {
             ))),
         }
     }
+}
+
+/// How a [`TopKIndex`] came into existence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColdStartSource {
+    /// Built from the raw dataset by [`IndexBuilder::build`] — the
+    /// O(dataset) parse-sort-write pass.
+    #[default]
+    Built,
+    /// Opened from a saved snapshot by [`IndexBuilder::open_snapshot`] —
+    /// only the trailer was read, no posting or tuple was decoded.
+    Snapshot,
+}
+
+impl fmt::Display for ColdStartSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColdStartSource::Built => "built",
+            ColdStartSource::Snapshot => "snapshot",
+        })
+    }
+}
+
+/// The deterministic work it took to bring an index up — the cold-start
+/// cost the `BENCH_coldstart.json` series compares across sources.
+///
+/// Both metrics are deterministic (never wall-clock): re-running the same
+/// build or open yields the same numbers on any machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColdStartInfo {
+    /// Where the index came from.
+    pub source: ColdStartSource,
+    /// Physical pages touched to bring the index up: pages written during a
+    /// build; trailer pages read during a snapshot open (plus, for the mem
+    /// backend only, the whole-file pages it must materialize in memory).
+    pub pages: u64,
+    /// Bytes parsed into in-memory structures: every posting and tuple
+    /// coordinate serialized by a build; just the superheader and the
+    /// 12-byte directory records decoded by a snapshot open.
+    pub bytes: u64,
 }
 
 /// Builder for [`TopKIndex`].
@@ -215,6 +256,22 @@ impl IndexBuilder {
 
         let tuple_region: TupleRegion = write_tuples(&pool, dataset)?;
 
+        // The cold-start cost of *this* path, captured before the counters
+        // are wiped: every page written, every posting/coordinate parsed.
+        let cold_start_info = ColdStartInfo {
+            source: ColdStartSource::Built,
+            pages: pool.io_snapshot().pages_written,
+            bytes: lists
+                .values()
+                .map(|l| l.num_entries as u64 * ENTRY_BYTES as u64)
+                .sum::<u64>()
+                + tuple_region
+                    .directory
+                    .iter()
+                    .map(|t| t.byte_len() as u64)
+                    .sum::<u64>(),
+        };
+
         // Index construction is an offline step: wipe the build-time I/O so
         // query measurements start from a clean slate (and from a cold cache).
         pool.clear_cache();
@@ -234,6 +291,88 @@ impl IndexBuilder {
             io_config: self.io_config,
             backend_kind: self.backend.kind(),
             fault_injector: injector,
+            cold_start_info,
+        })
+    }
+
+    /// Opens a previously saved snapshot (see
+    /// [`TopKIndex::save_snapshot`]) instead of building from a dataset.
+    ///
+    /// The builder's backend selects *how* the snapshot file is served —
+    /// only its [`BackendKind`] matters, any path carried by the variant is
+    /// ignored because the file to serve is `dir/index.pages`:
+    ///
+    /// * `Memory` — the page file is materialized into a
+    ///   [`MemPageStore`] frame by frame (seals preserved, not re-verified),
+    /// * `Disk` — [`FilePageStore::open`] serves it with positioned reads,
+    /// * `Mmap` — `MmapPageStore::open` maps it read-only (requires the
+    ///   `mmap` cargo feature).
+    ///
+    /// Cold start reads *only* the trailer: the 64-byte superheader (magic,
+    /// version, page size, checksum — each failure a typed
+    /// [`IrError::Corruption`]) and the two directory sections. No inverted
+    /// list or tuple bytes are deserialized before the first query. Unlike
+    /// [`IndexBuilder::build`], a configured [`IndexBuilder::fault_plan`]
+    /// is armed *before* the trailer is read: opening a snapshot is an
+    /// online operation on a possibly misbehaving device, and injected
+    /// faults during the open surface as typed errors.
+    pub fn open_snapshot<P: AsRef<Path>>(self, dir: P) -> IrResult<TopKIndex> {
+        let path = dir.as_ref().join(snapshot::SNAPSHOT_FILE);
+        let backend_kind = self.backend.kind();
+        let store: Arc<dyn PageStore> = match backend_kind {
+            BackendKind::Mem => Arc::new(MemPageStore::from_page_file(&path)?),
+            BackendKind::File => Arc::new(FilePageStore::open(&path)?),
+            BackendKind::Mmap => open_mmap_store(&path)?,
+        };
+        let total_pages = store.num_pages();
+        let (store, injector): (Arc<dyn PageStore>, Option<Arc<FaultInjectingPageStore>>) =
+            match self.fault_plan {
+                Some(plan) => {
+                    let faulty = FaultInjectingPageStore::new(store, plan);
+                    // Armed immediately: snapshot open is an online read
+                    // path, not an offline build.
+                    faulty.arm();
+                    (Arc::clone(&faulty) as Arc<dyn PageStore>, Some(faulty))
+                }
+                None => (store, None),
+            };
+        let pool = Arc::new(BufferPool::with_capacity_and_policy(
+            store,
+            self.pool_capacity,
+            self.retry_policy,
+        ));
+        let contents = snapshot::read_contents(&pool)?;
+
+        let trailer_reads = pool.io_snapshot().physical_reads;
+        let cold_start_info = ColdStartInfo {
+            source: ColdStartSource::Snapshot,
+            // The mem backend had to materialize the whole file to serve it
+            // from memory; the file/mmap backends touched only the trailer.
+            pages: trailer_reads
+                + match backend_kind {
+                    BackendKind::Mem => total_pages as u64,
+                    BackendKind::File | BackendKind::Mmap => 0,
+                },
+            bytes: snapshot::SUPERHEADER_LEN as u64
+                + (contents.lists.len() as u64 + contents.tuple_region.directory.len() as u64)
+                    * snapshot::RECORD_BYTES as u64,
+        };
+
+        // The trailer pages have served their purpose; queries start from a
+        // cold cache and clean counters, exactly like a fresh build.
+        pool.clear_cache();
+        pool.reset_io_stats();
+
+        Ok(TopKIndex {
+            pool,
+            cardinality: contents.tuple_region.directory.len(),
+            lists: contents.lists,
+            tuple_region: contents.tuple_region,
+            dimensionality: contents.dimensionality,
+            io_config: self.io_config,
+            backend_kind,
+            fault_injector: injector,
+            cold_start_info,
         })
     }
 
@@ -263,6 +402,23 @@ fn mmap_store(_dir: &Path) -> IrResult<Arc<dyn PageStore>> {
     ))
 }
 
+/// Opens an existing page file via the mmap store (feature-gated twin of
+/// [`mmap_store`], used by [`IndexBuilder::open_snapshot`]).
+#[cfg(feature = "mmap")]
+fn open_mmap_store(path: &Path) -> IrResult<Arc<dyn PageStore>> {
+    Ok(Arc::new(crate::mmap::MmapPageStore::open(path)?))
+}
+
+/// Without the `mmap` feature, opening a snapshot through the mmap backend
+/// is the same descriptive error as building through it.
+#[cfg(not(feature = "mmap"))]
+fn open_mmap_store(_path: &Path) -> IrResult<Arc<dyn PageStore>> {
+    Err(IrError::Storage(
+        "the mmap storage backend requires building ir-storage with the `mmap` cargo feature"
+            .to_string(),
+    ))
+}
+
 /// The physical top-k index: inverted lists + tuple file + buffer pool.
 pub struct TopKIndex {
     pool: Arc<BufferPool>,
@@ -273,6 +429,7 @@ pub struct TopKIndex {
     io_config: IoConfig,
     backend_kind: BackendKind,
     fault_injector: Option<Arc<FaultInjectingPageStore>>,
+    cold_start_info: ColdStartInfo,
 }
 
 impl TopKIndex {
@@ -392,6 +549,33 @@ impl TopKIndex {
     pub fn cold_start(&self) {
         self.pool.clear_cache();
         self.pool.reset_io_stats();
+    }
+
+    /// The deterministic work it took to bring this index up: built from
+    /// the dataset, or opened from a snapshot trailer.
+    pub fn cold_start_info(&self) -> ColdStartInfo {
+        self.cold_start_info
+    }
+
+    /// Saves the index as a versioned snapshot under `dir` (written as
+    /// `dir/index.pages`; the directory is created if missing), for a later
+    /// [`IndexBuilder::open_snapshot`] to serve without rebuilding.
+    ///
+    /// Every data page is read through this index's buffer pool, so the
+    /// copy is checksum-verified and shows up in the I/O counters (and, in
+    /// chaos runs, on the fault injector's operation clock). Do not save
+    /// into the directory a disk/mmap-backed index is currently serving
+    /// from — the save starts by truncating `dir/index.pages`, which is the
+    /// live file in that case; the doomed copy then fails with a typed
+    /// error, but the original file is gone. Save to a fresh directory.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, dir: P) -> IrResult<SnapshotSummary> {
+        snapshot::write_snapshot(
+            &self.pool,
+            &self.lists,
+            &self.tuple_region,
+            self.dimensionality,
+            dir.as_ref(),
+        )
     }
 }
 
@@ -520,6 +704,124 @@ mod tests {
         let healthy = TopKIndex::build_in_memory(&dataset).unwrap();
         assert!(healthy.fault_injector().is_none());
         assert!(healthy.fault_plan().is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_index_and_reports_cold_start() {
+        let dataset = Dataset::running_example();
+        let built = TopKIndex::build_in_memory(&dataset).unwrap();
+        let info = built.cold_start_info();
+        assert_eq!(info.source, ColdStartSource::Built);
+        assert!(info.pages > 0, "a build writes pages");
+        assert!(info.bytes > 0, "a build parses every coordinate");
+
+        let dir = tempfile::tempdir().unwrap();
+        let summary = built.save_snapshot(dir.path()).unwrap();
+        assert!(summary.data_pages > 0);
+        assert!(summary.trailer_pages >= 2, "directories + superheader");
+        assert_eq!(
+            summary.total_pages,
+            summary.data_pages + summary.trailer_pages
+        );
+        assert_eq!(
+            summary.file_bytes,
+            std::fs::metadata(dir.path().join("index.pages"))
+                .unwrap()
+                .len()
+        );
+
+        for kind in [BackendKind::Mem, BackendKind::File] {
+            let backend = match kind {
+                BackendKind::Mem => StorageBackend::Memory,
+                // Any path on the variant is ignored by open_snapshot.
+                _ => StorageBackend::Disk(PathBuf::from("/nonexistent-ignored")),
+            };
+            let opened = IndexBuilder::new()
+                .backend(backend)
+                .open_snapshot(dir.path())
+                .unwrap();
+            assert_eq!(opened.cardinality(), built.cardinality());
+            assert_eq!(opened.dimensionality(), built.dimensionality());
+            assert_eq!(opened.backend_kind(), kind);
+            for dim in 0..2 {
+                assert_eq!(
+                    opened.list_directory(DimId(dim)),
+                    built.list_directory(DimId(dim))
+                );
+            }
+            // Counters start clean, exactly like a fresh build.
+            assert_eq!(opened.io_snapshot(), IoStatsSnapshot::default());
+            for (id, tuple) in dataset.iter() {
+                assert_eq!(&opened.fetch_tuple(id).unwrap(), tuple);
+            }
+            let info = opened.cold_start_info();
+            assert_eq!(info.source, ColdStartSource::Snapshot);
+            assert!(info.pages > 0);
+            // The open decodes only superheader + directory records.
+            assert_eq!(info.bytes, 64 + 12 * (2 + dataset.cardinality() as u64));
+            assert!(
+                info.bytes < built.cold_start_info().bytes,
+                "snapshot open must parse fewer bytes than the build"
+            );
+        }
+    }
+
+    #[test]
+    fn open_snapshot_with_faults_armed_surfaces_typed_errors() {
+        let dataset = Dataset::running_example();
+        let dir = tempfile::tempdir().unwrap();
+        TopKIndex::build_in_memory(&dataset)
+            .unwrap()
+            .save_snapshot(dir.path())
+            .unwrap();
+        // A dead device from op 0: the trailer read itself must fail typed
+        // (the injector arms *before* the superheader is touched).
+        let err = IndexBuilder::new()
+            .fault_plan(Some(FaultPlan::device_outage(0, None)))
+            .open_snapshot(dir.path())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("injected device failure"), "{err}");
+    }
+
+    #[test]
+    fn open_snapshot_rejects_a_plain_page_file() {
+        // A disk-built index writes a valid *page* file with no snapshot
+        // trailer; open_snapshot must reject it as typed corruption, not
+        // misread data pages as a trailer.
+        let dir = tempfile::tempdir().unwrap();
+        IndexBuilder::new()
+            .backend(StorageBackend::Disk(dir.path().to_path_buf()))
+            .build(&Dataset::running_example())
+            .unwrap();
+        let err = IndexBuilder::new()
+            .open_snapshot(dir.path())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, IrError::Corruption { .. }),
+            "expected typed corruption, got: {err}"
+        );
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_snapshot_open_serves_directly() {
+        let dataset = Dataset::running_example();
+        let dir = tempfile::tempdir().unwrap();
+        TopKIndex::build_in_memory(&dataset)
+            .unwrap()
+            .save_snapshot(dir.path())
+            .unwrap();
+        let opened = IndexBuilder::new()
+            .backend(StorageBackend::Mmap(PathBuf::from("/ignored")))
+            .open_snapshot(dir.path())
+            .unwrap();
+        assert_eq!(opened.backend_kind(), BackendKind::Mmap);
+        assert_eq!(opened.cold_start_info().source, ColdStartSource::Snapshot);
+        for (id, tuple) in dataset.iter() {
+            assert_eq!(&opened.fetch_tuple(id).unwrap(), tuple);
+        }
     }
 
     #[cfg(feature = "mmap")]

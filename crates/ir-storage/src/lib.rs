@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod checksum;
 pub mod fault;
 pub mod index;
 pub mod inverted;
@@ -44,17 +45,22 @@ pub mod inverted;
 pub mod mmap;
 pub mod page;
 pub mod pagestore;
+pub mod snapshot;
 pub mod stats;
 pub mod tuplestore;
 
 pub use buffer::{BufferPool, RetryPolicy};
+pub use checksum::fnv1a64;
 pub use fault::{CorruptionSpec, FaultInjectingPageStore, FaultPlan};
-pub use index::{BackendKind, IndexBuilder, StorageBackend, TopKIndex};
+pub use index::{
+    BackendKind, ColdStartInfo, ColdStartSource, IndexBuilder, StorageBackend, TopKIndex,
+};
 pub use inverted::{InvertedListCursor, ListDirectoryEntry};
 #[cfg(feature = "mmap")]
 pub use mmap::MmapPageStore;
 pub use page::{PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemPageStore, PageStore};
+pub use snapshot::SnapshotSummary;
 pub use stats::{
     set_thread_stats_shard, thread_stats_shard, IoConfig, IoStats, IoStatsSnapshot, ShardedIoStats,
     IO_STATS_SHARDS,

@@ -193,6 +193,37 @@ impl MemPageStore {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Loads an existing page file (the [`crate::page::frame`] format both
+    /// file-backed stores write) into memory, preserving every frame's
+    /// stored seal verbatim.
+    ///
+    /// Only the file header and overall frame shape are validated up front —
+    /// exactly what [`FilePageStore::open`] checks. Per-page checksums are
+    /// *not* recomputed here: a damaged frame is carried into memory as-is
+    /// and surfaces as a typed [`IrError::Corruption`] on its first read,
+    /// the same lazy semantics the file and mmap stores have. This is how
+    /// the mem backend serves a saved index snapshot.
+    pub fn from_page_file<P: AsRef<Path>>(path: P) -> IrResult<Self> {
+        let bytes = std::fs::read(path)?;
+        let num_pages = frame::page_count(bytes.len() as u64)?;
+        let mut header = [0u8; frame::HEADER_LEN];
+        header.copy_from_slice(&bytes[..frame::HEADER_LEN]);
+        frame::validate_header(&header)?;
+        let mut pages = Vec::with_capacity(num_pages as usize);
+        for i in 0..num_pages as usize {
+            let start = frame::HEADER_LEN + i * frame::FRAME_LEN;
+            let mut payload = zeroed_page();
+            payload.copy_from_slice(&bytes[start..start + PAGE_SIZE]);
+            let mut seal = [0u8; frame::CHECKSUM_LEN];
+            seal.copy_from_slice(&bytes[start + PAGE_SIZE..start + frame::FRAME_LEN]);
+            pages.push(MemFrame { payload, seal });
+        }
+        Ok(MemPageStore {
+            pages: Mutex::new(pages),
+            stats: ShardedIoStats::new(),
+        })
+    }
 }
 
 impl PageStore for MemPageStore {
