@@ -46,7 +46,15 @@
 #                          runner then self-checks the snapshot's bring-up
 #                          win conditions (pages touched / bytes decoded,
 #                          never wall-clock) in both feature configs
-#  12. bench baseline    — bench_diff compares the stage-9 series against
+#  12. fleet service     — the fleet runner (a SubscriptionManager under a
+#                          deterministic drift stream) at smoke scale on the
+#                          mem and file backends; the runner self-checks the
+#                          serving economics (exit 1 on violation), the two
+#                          emissions must match *exactly* (bench_diff
+#                          --exact) with the policy stamps asserted, and
+#                          both are gated against the committed
+#                          bench_baselines/fleet/ baseline
+#  13. bench baseline    — bench_diff compares the stage-9 series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -82,21 +90,21 @@ RUNNER_BINS=(figure06_partitions figure10_wsj_qlen figure11_st_qlen
 
 MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap"
 
-begin_stage "1/12 cargo fmt --check"
+begin_stage "1/13 cargo fmt --check"
 cargo fmt --all --check
 end_stage
 
-begin_stage "2/12 cargo clippy (default + mmap), warnings are errors"
+begin_stage "2/13 cargo clippy (default + mmap), warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features "$MMAP_FEATURES" -- -D warnings
 end_stage
 
-begin_stage "3/12 tier-1: cargo build --release && cargo test -q"
+begin_stage "3/13 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 end_stage
 
-begin_stage "4/12 feature matrix + no-unsafe assertions"
+begin_stage "4/13 feature matrix + no-unsafe assertions"
 for crate in ir-storage immutable-regions; do
     for flags in "--no-default-features" "" "--features mmap"; do
         printf -- '--- %s %s\n' "$crate" "${flags:-"(default)"}"
@@ -135,7 +143,7 @@ fi
 echo "no-unsafe assertions hold"
 end_stage
 
-begin_stage "5/12 robustness: chaos suite + unwrap/expect lint gate"
+begin_stage "5/13 robustness: chaos suite + unwrap/expect lint gate"
 # The chaos suite injects seeded faults (transients, outages, corruption,
 # worker panics) into every backend at 1/2/8 workers and asserts typed
 # errors, byte-identical recovery and a serviceable engine afterwards.
@@ -149,7 +157,7 @@ cargo clippy -q --no-deps -p ir-storage --features mmap --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 end_stage
 
-begin_stage "6/12 cargo doc --no-deps (rustdoc warnings are errors)"
+begin_stage "6/13 cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
     -p ir-datagen -p ir-bench -p immutable-regions
@@ -157,7 +165,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-storage --features mmap
 end_stage
 
-begin_stage "7/12 benches compile"
+begin_stage "7/13 benches compile"
 cargo bench --no-run
 end_stage
 
@@ -172,11 +180,13 @@ snap_mem="$(mktemp -d)"
 snap_file="$(mktemp -d)"
 snap_mmap="$(mktemp -d)"
 cold_dir="$(mktemp -d)"
+fleet_mem="$(mktemp -d)"
+fleet_file="$(mktemp -d)"
 trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" \
     "$emit_dir_file_t2" "$snap_root" "$snap_built" "$snap_mem" "$snap_file" \
-    "$snap_mmap" "$cold_dir"' EXIT
+    "$snap_mmap" "$cold_dir" "$fleet_mem" "$fleet_file"' EXIT
 
-begin_stage "8/12 example + figure-runner smoke loop (sequential, mem)"
+begin_stage "8/13 example + figure-runner smoke loop (sequential, mem)"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -190,7 +200,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "9/12 figure runners at --threads 2 (parallel path) + JSON emission"
+begin_stage "9/13 figure runners at --threads 2 (parallel path) + JSON emission"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
@@ -198,7 +208,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "10/12 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
+begin_stage "10/13 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (mmap, threads=1): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
@@ -238,7 +248,7 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_mmap_t2"
 end_stage
 
-begin_stage "11/12 snapshot matrix: save/reopen under every backend + exact diff"
+begin_stage "11/13 snapshot matrix: save/reopen under every backend + exact diff"
 # Built-index oracle emission for the representative figure (mem, threads 2).
 IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
     --threads 2 --emit-json "$snap_built" >/dev/null
@@ -275,7 +285,34 @@ grep -q '"source":"Snapshot"' "$cold_dir"/BENCH_coldstart.json ||
     { echo "FAIL: BENCH_coldstart.json carries no snapshot stamp" >&2; exit 1; }
 end_stage
 
-begin_stage "12/12 bench_diff against committed baseline"
+begin_stage "12/13 fleet service: drift-stream serving on mem + file backends"
+# The fleet runner is self-checking (every event answered exactly once, the
+# in-region majority served locally, batches bounded, manager stats equal
+# to the engine health counters) and exits non-zero on any violation.
+printf -- '--- fleet runner (mem, threads=1)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin fleet -- \
+    --emit-json "$fleet_mem" >/dev/null
+printf -- '--- fleet runner (file, threads=2)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin fleet -- \
+    --backend file --threads 2 --emit-json "$fleet_file" >/dev/null
+# The serving trace is deterministic, so the two emissions must agree
+# exactly; the policy stamps prove both backends actually ran (a
+# backend-selection regression would otherwise pass vacuously).
+grep -q '"backend":"Mem"' "$fleet_mem"/BENCH_fleet.json ||
+    { echo "FAIL: fleet emission was not served by the mem backend" >&2; exit 1; }
+grep -q '"backend":"File"' "$fleet_file"/BENCH_fleet.json ||
+    { echo "FAIL: fleet emission was not served by the file backend" >&2; exit 1; }
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact "$fleet_mem" "$fleet_file"
+# And both must match the committed fleet baseline (kept in its own
+# subdirectory so the figure-runner baseline stages stay fleet-free).
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    bench_baselines/fleet "$fleet_mem"
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    bench_baselines/fleet "$fleet_file"
+end_stage
+
+begin_stage "13/13 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_t2"
 end_stage

@@ -518,6 +518,9 @@ struct EngineHealth {
     worker_panics: AtomicU64,
     corruption_errors: AtomicU64,
     retries_exhausted: AtomicU64,
+    fleet_local_answers: AtomicU64,
+    fleet_recomputes: AtomicU64,
+    fleet_batches: AtomicU64,
 }
 
 /// A point-in-time view of an engine's cumulative health counters
@@ -546,6 +549,14 @@ pub struct EngineHealthSnapshot {
     pub read_retries: u64,
     /// Page writes that needed at least one retry.
     pub write_retries: u64,
+    /// Drift events a [`crate::fleet::SubscriptionManager`] answered
+    /// locally from a cached region report (no I/O).
+    pub fleet_local_answers: u64,
+    /// Drift events a fleet manager answered by a batched recompute.
+    pub fleet_recomputes: u64,
+    /// Recompute batches a fleet manager flushed through
+    /// [`IrEngine::query_batch`].
+    pub fleet_batches: u64,
 }
 
 impl EngineHealthSnapshot {
@@ -631,7 +642,26 @@ impl IrEngine {
             retries_exhausted: self.health.retries_exhausted.load(Ordering::Relaxed),
             read_retries: io.read_retries,
             write_retries: io.write_retries,
+            fleet_local_answers: self.health.fleet_local_answers.load(Ordering::Relaxed),
+            fleet_recomputes: self.health.fleet_recomputes.load(Ordering::Relaxed),
+            fleet_batches: self.health.fleet_batches.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records fleet-manager traffic in the shared health counters:
+    /// `local` drift events answered from cached regions, `recomputed`
+    /// events that needed a batched refresh, and `batches` flushes through
+    /// the worker pool.
+    pub(crate) fn note_fleet_traffic(&self, local: u64, recomputed: u64, batches: u64) {
+        self.health
+            .fleet_local_answers
+            .fetch_add(local, Ordering::Relaxed);
+        self.health
+            .fleet_recomputes
+            .fetch_add(recomputed, Ordering::Relaxed);
+        self.health
+            .fleet_batches
+            .fetch_add(batches, Ordering::Relaxed);
     }
 
     /// Runs one engine operation with failure containment: panics anywhere
@@ -913,34 +943,7 @@ impl Subscription {
     /// past a region boundary — returns `false`, which is the conservative
     /// answer: the caller recomputes and never serves a stale result.
     pub fn is_immutable_under(&self, new_weights: &QueryVector) -> bool {
-        if new_weights.k() != self.query.k() {
-            return false;
-        }
-        let mut dims = self.query.dim_ids();
-        for (dim, _) in new_weights.dims() {
-            if !dims.contains(&dim) {
-                dims.push(dim);
-            }
-        }
-        let mut deviation: Option<(DimId, f64)> = None;
-        for dim in dims {
-            let delta = new_weights.weight(dim) - self.query.weight(dim);
-            if delta != 0.0 {
-                if deviation.is_some() {
-                    return false;
-                }
-                deviation = Some((dim, delta));
-            }
-        }
-        match deviation {
-            None => true,
-            Some((dim, delta)) => match self.report.for_dim(dim) {
-                // Strict interior: at the boundary itself the perturbation
-                // occurs, so boundary hits count as exits.
-                Some(regions) => regions.immutable.lo < delta && delta < regions.immutable.hi,
-                None => false,
-            },
-        }
+        immutable_under(&self.query, &self.report, new_weights)
     }
 
     /// Drives the subscription to `new_weights`: a no-op returning
@@ -955,7 +958,7 @@ impl Subscription {
             self.cache_hits += 1;
             return Ok(false);
         }
-        let engine = self.engine.clone();
+        let engine = &self.engine;
         let (result, report) = engine.run_guarded("subscription refresh", || {
             let mut computation = engine.computation_untracked(new_weights, engine.config)?;
             let report = computation.compute()?;
@@ -966,6 +969,70 @@ impl Subscription {
         self.query = new_weights.clone();
         self.refreshes += 1;
         Ok(true)
+    }
+}
+
+/// The local immutability check shared by [`Subscription`] and the
+/// subscription fleet ([`crate::fleet::SubscriptionManager`]): is the
+/// result anchored at `anchor` (with cached `report`) guaranteed unchanged
+/// under `new_weights`?
+///
+/// Allocation-free: the two sparse weight vectors are merge-walked in one
+/// pass over their sorted entry slices — this runs once per drift event
+/// across a fleet of millions, so it must not touch the heap.
+pub(crate) fn immutable_under(
+    anchor: &QueryVector,
+    report: &RegionReport,
+    new_weights: &QueryVector,
+) -> bool {
+    if new_weights.k() != anchor.k() {
+        return false;
+    }
+    let a = anchor.weights().entries();
+    let b = new_weights.weights().entries();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut deviation: Option<(DimId, f64)> = None;
+    loop {
+        // delta = new - old; a dimension absent from a vector weighs 0.
+        let (dim, delta) = match (a.get(i), b.get(j)) {
+            (None, None) => break,
+            (Some(&(dim, old)), None) => {
+                i += 1;
+                (dim, -old)
+            }
+            (None, Some(&(dim, new))) => {
+                j += 1;
+                (dim, new)
+            }
+            (Some(&(da, old)), Some(&(db, new))) => {
+                if da < db {
+                    i += 1;
+                    (da, -old)
+                } else if db < da {
+                    j += 1;
+                    (db, new)
+                } else {
+                    i += 1;
+                    j += 1;
+                    (da, new - old)
+                }
+            }
+        };
+        if delta != 0.0 {
+            if deviation.is_some() {
+                return false;
+            }
+            deviation = Some((dim, delta));
+        }
+    }
+    match deviation {
+        None => true,
+        Some((dim, delta)) => match report.for_dim(dim) {
+            // Strict interior: at the boundary itself the perturbation
+            // occurs, so boundary hits count as exits.
+            Some(regions) => regions.immutable.lo < delta && delta < regions.immutable.hi,
+            None => false,
+        },
     }
 }
 

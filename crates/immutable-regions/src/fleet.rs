@@ -1,0 +1,776 @@
+//! [`SubscriptionManager`]: serving a fleet of live subscriptions.
+//!
+//! The paper's economics only pay off at fleet scale: a server holding
+//! *many* subscribed top-k queries answers the overwhelming majority of
+//! weight-drift events with a local, allocation-free region check, and
+//! amortizes the region-exiting minority into batched recomputes over the
+//! shared warm buffer pool. This module is that serving layer:
+//!
+//! * [`SubscriptionManager`] owns N live subscriptions keyed by id,
+//!   ingests [`DriftEvent`] streams (see `ir_datagen::drift`), and yields
+//!   one [`FleetAnswer`] per event — either served locally from the
+//!   cached region report or recomputed in a batch.
+//! * Region-exiting events are queued as pending recompute jobs and
+//!   flushed through [`IrEngine::query_batch`] in chunks, ordered by a
+//!   heat-weighted scheduler (see below) so hot subscriptions re-anchor
+//!   first.
+//! * Every flush and local answer is recorded in the engine's shared
+//!   health counters ([`crate::engine::EngineHealthSnapshot`]'s `fleet_*` fields) and in
+//!   the manager's own [`FleetStats`].
+//!
+//! # Correctness model
+//!
+//! A local answer is served against the subscription's *anchor* — the
+//! query its cached report was computed at — even while a recompute for
+//! an earlier event is still pending. That is sound because the immutable
+//! region is a guarantee about results, not about the anchor's freshness:
+//! if the drifted weights lie inside the anchor's region, a fresh
+//! recompute at those weights returns byte-identically the anchor's
+//! result. The fleet oracle test (`tests/fleet_oracle.rs`) proves exactly
+//! this equivalence for every served answer.
+//!
+//! Recompute batches may be *scheduled* out of event order, but
+//! re-anchoring is applied in event-sequence order per subscription
+//! (last event wins), so the manager's end state is independent of the
+//! schedule.
+//!
+//! # The heat scheduler
+//!
+//! Pending jobs are drawn without replacement with probability
+//! proportional to their subscription's heat (drift events seen so far),
+//! using the weighted-ranges candidate-list idiom: each job owns a
+//! half-open range of the cumulative weight space, a seeded draw binary-
+//! searches the ranges, drawn jobs are marked for deletion in place, and
+//! the list is incrementally rebuilt (`rebalanced`) only once enough
+//! marked entries accumulate. Draws use an inline LCG seeded from
+//! [`FleetConfig::scheduler_seed`], so the schedule — and therefore the
+//! whole serving trace — is deterministic.
+
+use crate::engine::{immutable_under, EngineError, EngineResult, IrEngine};
+use ir_core::RegionReport;
+use ir_datagen::DriftEvent;
+use ir_types::{QueryVector, TupleId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration of a [`SubscriptionManager`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Recompute batch size: pending jobs are flushed through
+    /// [`IrEngine::query_batch`] once this many accumulate, and flushed
+    /// batches never exceed it. Must be at least 1.
+    pub max_batch: usize,
+    /// Seed of the heat scheduler's deterministic draw sequence.
+    pub scheduler_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            max_batch: 32,
+            scheduler_seed: 0xF1EE7,
+        }
+    }
+}
+
+/// How a [`FleetAnswer`] was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerKind {
+    /// Served from the cached region report — no I/O, no recompute.
+    Local,
+    /// Served by a batched region recompute at the event's weights.
+    Recomputed,
+}
+
+/// The answer to one drift event: the subscription's top-k result at the
+/// event's (cumulative) weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetAnswer {
+    /// Global event sequence number (0-based, assigned at ingest).
+    pub seq: u64,
+    /// The subscription the event targeted.
+    pub sub: u64,
+    /// Local cache hit or batched recompute.
+    pub kind: AnswerKind,
+    /// The top-k tuple ids, best first.
+    pub result: Vec<TupleId>,
+    /// Deterministic cost of producing the answer: 0 for a local answer,
+    /// the recompute's evaluated-candidate count otherwise.
+    pub evaluated_candidates: u64,
+}
+
+/// Cumulative serving statistics of one manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Drift events ingested.
+    pub events: u64,
+    /// Events answered locally from a cached region report.
+    pub local_answers: u64,
+    /// Events answered by a batched recompute.
+    pub recomputes: u64,
+    /// Recompute batches flushed through the engine's worker pool.
+    pub batches: u64,
+    /// Jobs in the largest batch flushed so far.
+    pub largest_batch: u64,
+}
+
+impl FleetStats {
+    /// Fraction of events answered locally (1.0 for an event-free fleet).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.events == 0 {
+            return 1.0;
+        }
+        self.local_answers as f64 / self.events as f64
+    }
+}
+
+/// One live subscription inside the fleet.
+struct FleetEntry {
+    /// The query the cached report was computed at.
+    anchor: QueryVector,
+    /// The latest drifted weights (anchor + all ingested deltas).
+    current: QueryVector,
+    /// Cached top-k ids at the anchor.
+    result: Vec<TupleId>,
+    /// Cached region report at the anchor.
+    report: RegionReport,
+    /// Drift events seen — the scheduler's priority weight.
+    heat: u64,
+    /// Highest event sequence already re-anchored, so out-of-schedule
+    /// batch results can never roll an entry backwards.
+    last_applied_seq: Option<u64>,
+    cache_hits: u64,
+    refreshes: u64,
+}
+
+/// A read-only view of one fleet member ([`SubscriptionManager::member`]).
+pub struct FleetMember<'a> {
+    id: u64,
+    entry: &'a FleetEntry,
+}
+
+impl FleetMember<'_> {
+    /// The subscription id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The anchor query the cached report is relative to.
+    pub fn anchor(&self) -> &QueryVector {
+        &self.entry.anchor
+    }
+
+    /// The latest drifted weights.
+    pub fn current(&self) -> &QueryVector {
+        &self.entry.current
+    }
+
+    /// The cached top-k ids at the anchor.
+    pub fn result(&self) -> &[TupleId] {
+        &self.entry.result
+    }
+
+    /// The cached region report at the anchor.
+    pub fn report(&self) -> &RegionReport {
+        &self.entry.report
+    }
+
+    /// Drift events this subscription has seen.
+    pub fn heat(&self) -> u64 {
+        self.entry.heat
+    }
+
+    /// Events answered locally for this subscription.
+    pub fn cache_hits(&self) -> u64 {
+        self.entry.cache_hits
+    }
+
+    /// Batched recomputes applied to this subscription.
+    pub fn refreshes(&self) -> u64 {
+        self.entry.refreshes
+    }
+}
+
+/// A recompute job waiting for the next flush.
+struct PendingJob {
+    seq: u64,
+    sub: u64,
+    weights: QueryVector,
+}
+
+/// A fleet of live subscriptions served from one shared engine.
+///
+/// See the [module docs](self) for the serving model. The manager is
+/// deliberately single-writer (`&mut self` ingest): fan-out parallelism
+/// lives *inside* the engine's batch worker pool, where it is proven
+/// deterministic, not in the bookkeeping.
+pub struct SubscriptionManager {
+    engine: IrEngine,
+    config: FleetConfig,
+    entries: BTreeMap<u64, FleetEntry>,
+    pending: Vec<PendingJob>,
+    /// Answers produced but not yet handed to the caller — survives a
+    /// failed flush so no answer is ever lost.
+    ready: Vec<FleetAnswer>,
+    next_seq: u64,
+    stats: FleetStats,
+}
+
+impl fmt::Debug for SubscriptionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubscriptionManager")
+            .field("subscriptions", &self.entries.len())
+            .field("pending", &self.pending.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SubscriptionManager {
+    /// Creates an empty fleet served by `engine` (a cheap handle clone —
+    /// the warm index and buffer pool are shared).
+    pub fn new(engine: &IrEngine, config: FleetConfig) -> EngineResult<Self> {
+        if config.max_batch == 0 {
+            return Err(EngineError::Policy(
+                "fleet max_batch must be at least 1".to_string(),
+            ));
+        }
+        Ok(SubscriptionManager {
+            engine: engine.clone(),
+            config,
+            entries: BTreeMap::new(),
+            pending: Vec::new(),
+            ready: Vec::new(),
+            next_seq: 0,
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True while the fleet has no subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `sub` is a live subscription.
+    pub fn contains(&self, sub: u64) -> bool {
+        self.entries.contains_key(&sub)
+    }
+
+    /// Recompute jobs waiting for the next flush.
+    pub fn pending_recomputes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// A read-only view of one member.
+    pub fn member(&self, sub: u64) -> Option<FleetMember<'_>> {
+        self.entries
+            .get(&sub)
+            .map(|entry| FleetMember { id: sub, entry })
+    }
+
+    /// Iterates the members in id order.
+    pub fn members(&self) -> impl Iterator<Item = FleetMember<'_>> {
+        self.entries
+            .iter()
+            .map(|(&id, entry)| FleetMember { id, entry })
+    }
+
+    /// Admits one subscription ([`SubscriptionManager::admit_all`] of one).
+    pub fn admit(&mut self, sub: u64, query: QueryVector) -> EngineResult<()> {
+        self.admit_all([(sub, query)])
+    }
+
+    /// Admits a set of subscriptions: their initial results and region
+    /// reports are computed in one batch over the engine's worker pool.
+    ///
+    /// A duplicate id — against the live fleet or within the admitted set
+    /// — is rejected with [`EngineError::Policy`] before any computation
+    /// runs; on any error the fleet is left unchanged.
+    pub fn admit_all(
+        &mut self,
+        subs: impl IntoIterator<Item = (u64, QueryVector)>,
+    ) -> EngineResult<()> {
+        let subs: Vec<(u64, QueryVector)> = subs.into_iter().collect();
+        let mut ids = std::collections::BTreeSet::new();
+        for (sub, _) in &subs {
+            if self.entries.contains_key(sub) || !ids.insert(*sub) {
+                return Err(EngineError::Policy(format!(
+                    "subscription {sub} is already admitted"
+                )));
+            }
+        }
+        let queries: Vec<QueryVector> = subs.iter().map(|(_, q)| q.clone()).collect();
+        for chunk_start in (0..queries.len()).step_by(self.config.max_batch) {
+            let chunk_end = (chunk_start + self.config.max_batch).min(queries.len());
+            let reports = self.engine.query_batch(&queries[chunk_start..chunk_end])?;
+            for (offset, report) in reports.into_iter().enumerate() {
+                let (sub, query) = &subs[chunk_start + offset];
+                self.entries.insert(
+                    *sub,
+                    FleetEntry {
+                        anchor: query.clone(),
+                        current: query.clone(),
+                        result: report.current_result().to_vec(),
+                        report,
+                        heat: 0,
+                        last_applied_seq: None,
+                        cache_hits: 0,
+                        refreshes: 0,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a slice of drift events and returns one answer per event
+    /// (plus any answers buffered by a previously failed flush), in event-
+    /// sequence order.
+    ///
+    /// The in-region majority is answered locally; region exits queue a
+    /// recompute job, flushed in heat-ordered batches whenever
+    /// [`FleetConfig::max_batch`] jobs accumulate and once more at the
+    /// end. On error (an unknown subscription id, a storage fault during
+    /// a flush) the manager stays serviceable: untouched subscriptions
+    /// keep serving, already-produced answers and still-pending jobs are
+    /// retained, and a later [`SubscriptionManager::flush`] or `ingest`
+    /// resumes where the failure struck.
+    pub fn ingest(&mut self, events: &[DriftEvent]) -> EngineResult<Vec<FleetAnswer>> {
+        for event in events {
+            let entry = self.entries.get_mut(&event.sub).ok_or_else(|| {
+                EngineError::Policy(format!(
+                    "drift event targets unknown subscription {}",
+                    event.sub
+                ))
+            })?;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.events += 1;
+            entry.heat += 1;
+            entry.current = entry.current.with_weight_shift(event.dim, event.delta)?;
+
+            if immutable_under(&entry.anchor, &entry.report, &entry.current) {
+                entry.cache_hits += 1;
+                self.stats.local_answers += 1;
+                self.engine.note_fleet_traffic(1, 0, 0);
+                self.ready.push(FleetAnswer {
+                    seq,
+                    sub: event.sub,
+                    kind: AnswerKind::Local,
+                    result: entry.result.clone(),
+                    evaluated_candidates: 0,
+                });
+            } else {
+                self.pending.push(PendingJob {
+                    seq,
+                    sub: event.sub,
+                    weights: entry.current.clone(),
+                });
+                if self.pending.len() >= self.config.max_batch {
+                    self.flush_pending()?;
+                }
+            }
+        }
+        self.flush_pending()?;
+        Ok(self.drain_ready())
+    }
+
+    /// Flushes all pending recompute jobs and returns the answers they
+    /// produce (plus any answers buffered by a previously failed flush).
+    pub fn flush(&mut self) -> EngineResult<Vec<FleetAnswer>> {
+        self.flush_pending()?;
+        Ok(self.drain_ready())
+    }
+
+    fn drain_ready(&mut self) -> Vec<FleetAnswer> {
+        let mut answers = std::mem::take(&mut self.ready);
+        answers.sort_by_key(|a| a.seq);
+        answers
+    }
+
+    /// Runs every pending job through the engine in heat-ordered batches.
+    /// On a batch failure the failed chunk and everything after it go back
+    /// to the pending queue; chunks that already succeeded stay applied
+    /// (their answers are buffered in `ready`).
+    fn flush_pending(&mut self) -> EngineResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let jobs = std::mem::take(&mut self.pending);
+        let mut order = self.schedule(&jobs);
+
+        while !order.is_empty() {
+            let chunk: Vec<usize> = order
+                .drain(..self.config.max_batch.min(order.len()))
+                .collect();
+            let queries: Vec<QueryVector> =
+                chunk.iter().map(|&i| jobs[i].weights.clone()).collect();
+            let reports = match self.engine.query_batch(&queries) {
+                Ok(reports) => reports,
+                Err(err) => {
+                    // Re-queue the failed chunk and every undrawn job, in
+                    // event order, so a retry flush serves them all.
+                    let mut back: Vec<PendingJob> = chunk
+                        .into_iter()
+                        .chain(order)
+                        .map(|i| &jobs[i])
+                        .map(|job| PendingJob {
+                            seq: job.seq,
+                            sub: job.sub,
+                            weights: job.weights.clone(),
+                        })
+                        .collect();
+                    back.sort_by_key(|job| job.seq);
+                    self.pending = back;
+                    return Err(err);
+                }
+            };
+
+            self.stats.batches += 1;
+            self.stats.largest_batch = self.stats.largest_batch.max(reports.len() as u64);
+            self.engine.note_fleet_traffic(0, reports.len() as u64, 1);
+            // Apply in event order within the chunk so a subscription hit
+            // twice is left anchored at its latest weights.
+            let mut applied: Vec<(usize, RegionReport)> = chunk.into_iter().zip(reports).collect();
+            applied.sort_by_key(|(i, _)| jobs[*i].seq);
+            for (i, report) in applied {
+                let job = &jobs[i];
+                let entry = self
+                    .entries
+                    .get_mut(&job.sub)
+                    .expect("pending job targets a live subscription");
+                let result = report.current_result().to_vec();
+                let cost = report.stats.evaluated_candidates;
+                entry.refreshes += 1;
+                self.stats.recomputes += 1;
+                if entry.last_applied_seq.map_or(true, |last| job.seq > last) {
+                    entry.anchor = job.weights.clone();
+                    entry.result = result.clone();
+                    entry.report = report;
+                    entry.last_applied_seq = Some(job.seq);
+                }
+                self.ready.push(FleetAnswer {
+                    seq: job.seq,
+                    sub: job.sub,
+                    kind: AnswerKind::Recomputed,
+                    evaluated_candidates: cost,
+                    result,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Orders pending job indices hot-first with the weighted candidate-
+    /// list scheduler (see the [module docs](self)).
+    fn schedule(&self, jobs: &[PendingJob]) -> Vec<usize> {
+        if jobs.len() <= 1 {
+            return (0..jobs.len()).collect();
+        }
+        let heat = |job: &PendingJob| self.entries[&job.sub].heat + 1;
+        let mut list = CandidateList::new(jobs.iter().map(heat));
+        let mut rng = Lcg::new(self.config.scheduler_seed ^ jobs[0].seq);
+        let mut order = Vec::with_capacity(jobs.len());
+        while order.len() < jobs.len() {
+            order.push(list.draw(&mut rng));
+        }
+        order
+    }
+}
+
+/// Weighted sampling without replacement over pending jobs — the
+/// candidate-list idiom: cumulative weight ranges, binary-searched draws,
+/// mark-for-deletion, and an incremental `rebalanced` rebuild once marked
+/// entries dominate.
+struct Candidate {
+    index: usize,
+    start: u64,
+    end: u64,
+    is_marked_for_deletion: bool,
+}
+
+struct CandidateList {
+    candidates: Vec<Candidate>,
+    total_weight: u64,
+    marked: usize,
+}
+
+impl CandidateList {
+    fn new(weights: impl Iterator<Item = u64>) -> Self {
+        let mut candidates = Vec::new();
+        let mut total_weight = 0u64;
+        for (index, w) in weights.enumerate() {
+            let start = total_weight;
+            total_weight += w.max(1);
+            candidates.push(Candidate {
+                index,
+                start,
+                end: total_weight,
+                is_marked_for_deletion: false,
+            });
+        }
+        CandidateList {
+            candidates,
+            total_weight,
+            marked: 0,
+        }
+    }
+
+    /// Rebuilds the list without the marked entries, compacting the
+    /// cumulative weight space.
+    fn rebalanced(&self) -> Self {
+        let mut candidates = Vec::with_capacity(self.candidates.len() - self.marked);
+        let mut total_weight = 0u64;
+        for c in self.candidates.iter().filter(|c| !c.is_marked_for_deletion) {
+            let w = c.end - c.start;
+            candidates.push(Candidate {
+                index: c.index,
+                start: total_weight,
+                end: total_weight + w,
+                is_marked_for_deletion: false,
+            });
+            total_weight += w;
+        }
+        CandidateList {
+            candidates,
+            total_weight,
+            marked: 0,
+        }
+    }
+
+    /// Index of the candidate whose range contains `r`.
+    fn find(&self, r: u64) -> usize {
+        self.candidates
+            .partition_point(|c| c.end <= r)
+            .min(self.candidates.len() - 1)
+    }
+
+    /// Draws one unmarked candidate, marking it; rebalances once marked
+    /// entries reach half the list.
+    fn draw(&mut self, rng: &mut Lcg) -> usize {
+        loop {
+            if self.marked * 2 >= self.candidates.len() {
+                *self = self.rebalanced();
+            }
+            let r = rng.next() % self.total_weight.max(1);
+            let pos = self.find(r);
+            let c = &mut self.candidates[pos];
+            if !c.is_marked_for_deletion {
+                c.is_marked_for_deletion = true;
+                self.marked += 1;
+                return c.index;
+            }
+        }
+    }
+}
+
+/// The MMIX linear congruential generator — the same inline deterministic
+/// source `FaultPlan` uses, so the scheduler needs no RNG dependency.
+struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // The multiplier mixes high bits far better than low ones.
+        self.state >> 11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_datagen::{DriftConfig, DriftStream};
+    use ir_types::{Dataset, DatasetBuilder};
+
+    fn dataset() -> Dataset {
+        let mut builder = DatasetBuilder::new(5);
+        for i in 0..160u32 {
+            let pairs: Vec<(u32, f64)> = (0..5u32)
+                .map(|d| (d, (((i * 31 + d * 17) % 97) + 1) as f64 / 98.0))
+                .collect();
+            builder.push_pairs(pairs).unwrap();
+        }
+        builder.build()
+    }
+
+    fn fleet_queries(n: usize, k: usize) -> Vec<(u64, QueryVector)> {
+        (0..n as u32)
+            .map(|i| {
+                let q = QueryVector::new(
+                    [
+                        (i % 5, 0.2 + 0.1 * (i % 4) as f64),
+                        ((i + 1) % 5, 0.9 - 0.1 * (i % 3) as f64),
+                        ((i + 2) % 5, 0.5),
+                    ],
+                    k,
+                )
+                .unwrap();
+                (i as u64, q)
+            })
+            .collect()
+    }
+
+    fn engine() -> IrEngine {
+        IrEngine::builder().dataset_ref(&dataset()).build().unwrap()
+    }
+
+    #[test]
+    fn fleet_serves_a_drift_stream_end_to_end() {
+        let engine = engine();
+        let mut manager = SubscriptionManager::new(
+            &engine,
+            FleetConfig {
+                max_batch: 4,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let fleet = fleet_queries(8, 4);
+        manager.admit_all(fleet.clone()).unwrap();
+        assert_eq!(manager.len(), 8);
+
+        let stream = DriftStream::generate(&fleet, &DriftConfig::default(), 42).unwrap();
+        let events = &stream.events()[..200];
+        let answers = manager.ingest(events).unwrap();
+
+        assert_eq!(answers.len(), events.len());
+        for (i, answer) in answers.iter().enumerate() {
+            assert_eq!(answer.seq, i as u64, "answers come back in event order");
+            assert_eq!(answer.sub, events[i].sub);
+            assert!(!answer.result.is_empty());
+        }
+
+        let stats = manager.stats();
+        assert_eq!(stats.events, events.len() as u64);
+        assert_eq!(
+            stats.local_answers + stats.recomputes,
+            stats.events,
+            "every event is answered exactly once"
+        );
+        assert!(
+            stats.local_answers > stats.recomputes,
+            "the in-region majority must be served locally: {stats:?}"
+        );
+        assert!(stats.batches > 0);
+        assert!(stats.largest_batch <= manager.config().max_batch as u64);
+        assert_eq!(manager.pending_recomputes(), 0);
+
+        // The engine's shared health counters saw the same traffic.
+        let health = engine.health();
+        assert_eq!(health.fleet_local_answers, stats.local_answers);
+        assert_eq!(health.fleet_recomputes, stats.recomputes);
+        assert_eq!(health.fleet_batches, stats.batches);
+
+        // Per-member accounting sums to the fleet totals.
+        let hits: u64 = manager.members().map(|m| m.cache_hits()).sum();
+        let refreshes: u64 = manager.members().map(|m| m.refreshes()).sum();
+        assert_eq!(hits, stats.local_answers);
+        assert_eq!(refreshes, stats.recomputes);
+        let heat: u64 = manager.members().map(|m| m.heat()).sum();
+        assert_eq!(heat, stats.events);
+    }
+
+    #[test]
+    fn serving_trace_is_deterministic() {
+        let fleet = fleet_queries(6, 4);
+        let stream = DriftStream::generate(&fleet, &DriftConfig::default(), 7).unwrap();
+        let run = || {
+            let engine = engine();
+            let mut manager = SubscriptionManager::new(&engine, FleetConfig::default()).unwrap();
+            manager.admit_all(fleet.clone()).unwrap();
+            manager.ingest(&stream.events()[..150]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bad_fleet_configuration_is_a_typed_policy_error() {
+        let engine = engine();
+        assert!(matches!(
+            SubscriptionManager::new(
+                &engine,
+                FleetConfig {
+                    max_batch: 0,
+                    ..FleetConfig::default()
+                }
+            ),
+            Err(EngineError::Policy(_))
+        ));
+
+        let mut manager = SubscriptionManager::new(&engine, FleetConfig::default()).unwrap();
+        let fleet = fleet_queries(2, 4);
+        manager.admit_all(fleet.clone()).unwrap();
+        assert!(matches!(
+            manager.admit(0, fleet[0].1.clone()),
+            Err(EngineError::Policy(_))
+        ));
+        assert!(matches!(
+            manager.ingest(&[DriftEvent {
+                sub: 999,
+                dim: ir_types::DimId(0),
+                delta: 0.01,
+            }]),
+            Err(EngineError::Policy(_))
+        ));
+        // The failure left the fleet serviceable.
+        assert_eq!(manager.len(), 2);
+        let answers = manager
+            .ingest(&[DriftEvent {
+                sub: 0,
+                dim: fleet[0].1.dims().next().unwrap().0,
+                delta: 0.001,
+            }])
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn candidate_list_draws_every_index_once_hot_first_in_expectation() {
+        let weights = [1u64, 1, 1, 1000, 1, 1, 1, 1];
+        let mut first_draws = Vec::new();
+        for seed in 0..32 {
+            let mut list = CandidateList::new(weights.iter().copied());
+            let mut rng = Lcg::new(seed);
+            let mut drawn = Vec::new();
+            for _ in 0..weights.len() {
+                drawn.push(list.draw(&mut rng));
+            }
+            first_draws.push(drawn[0]);
+            let mut sorted = drawn.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..weights.len()).collect::<Vec<_>>());
+        }
+        let hot_first = first_draws.iter().filter(|&&i| i == 3).count();
+        assert!(
+            hot_first >= 28,
+            "the dominant weight should win almost every opening draw, won {hot_first}/32"
+        );
+    }
+}

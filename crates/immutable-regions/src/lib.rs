@@ -22,6 +22,7 @@
 //! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle, parallel driver |
 //! | workloads | [`datagen`] | WSJ-like, KB-like and ST dataset generators |
 //! | serving | [`engine`] | [`IrEngine`](engine::IrEngine): owned façade, batches, subscriptions |
+//! | fleet | [`fleet`] | [`SubscriptionManager`](fleet::SubscriptionManager): many live subscriptions, batched recomputes |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fleet;
 
 pub use ir_core as core;
 pub use ir_datagen as datagen;
@@ -75,6 +77,9 @@ pub mod prelude {
         EngineError, EngineHealthSnapshot, EnginePolicy, EngineResult, IrEngine, IrEngineBuilder,
         Subscription,
     };
+    pub use crate::fleet::{
+        AnswerKind, FleetAnswer, FleetConfig, FleetMember, FleetStats, SubscriptionManager,
+    };
     pub use ir_core::{
         Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats, DimRegions,
         ExhaustiveOracle, OwnedRegionComputation, Perturbation, RegionBoundary, RegionComputation,
@@ -84,6 +89,7 @@ pub mod prelude {
         CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,
         QueryWorkload, TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
     };
+    pub use ir_datagen::{DriftConfig, DriftEvent, DriftStream};
     pub use ir_storage::{
         FaultPlan, IndexBuilder, IoConfig, RetryPolicy, StorageBackend, TopKIndex,
     };

@@ -87,7 +87,11 @@ fn main() -> EngineResult<()> {
         .snapshot_dir
         .clone()
         .unwrap_or_else(|| scratch.path().to_path_buf());
-    let staged = root.join(format!("coldstart-{}", std::process::id()));
+    // The guard removes the staged dir when the runner exits (success or
+    // error), so repeated runs never accrete snapshots under the user's
+    // `--snapshot-dir`.
+    let staged_guard = ir_bench::StagedSnapshotDir::unique(&root);
+    let staged = staged_guard.path().to_path_buf();
     let builder_engine = IrEngine::builder().dataset_ref(&dataset).build()?;
     let summary = builder_engine.save_snapshot(&staged)?;
     drop(builder_engine);

@@ -42,4 +42,4 @@ pub use metrics::{MethodMeasurement, MethodSeries};
 pub use runner::{
     measure_iterative, measure_method, measure_method_threaded, print_table, ExperimentTable,
 };
-pub use workloads::{BenchDataset, Scale};
+pub use workloads::{BenchDataset, Scale, StagedSnapshotDir};

@@ -11,15 +11,42 @@ use ir_types::{Dataset, IrResult};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A unique staging directory under `root` for one saved snapshot.
+/// A unique staging directory under `root` for one saved snapshot,
+/// removed — with everything inside it — when the guard drops.
 ///
 /// Process id plus a process-wide counter keeps concurrent runners (and
 /// repeated preparations inside one runner) from saving over each other
-/// when they share one `--snapshot-dir`.
-fn unique_snapshot_dir(root: &Path) -> PathBuf {
-    static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    root.join(format!("snap-{}-{}", std::process::id(), n))
+/// when they share one `--snapshot-dir`; the drop keeps repeated runner
+/// invocations from accreting orphaned `snap-*` directories there. On
+/// Unix the removal is safe even while a file or mmap engine still
+/// serves from the directory: the page store holds its descriptor (or
+/// established mapping) to the then-unlinked snapshot file.
+pub struct StagedSnapshotDir {
+    path: PathBuf,
+}
+
+impl StagedSnapshotDir {
+    /// Reserves a fresh `snap-{pid}-{n}` staging path under `root`.
+    pub fn unique(root: &Path) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        StagedSnapshotDir {
+            path: root.join(format!("snap-{}-{}", std::process::id(), n)),
+        }
+    }
+
+    /// The staging path (not created until a snapshot is saved into it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StagedSnapshotDir {
+    fn drop(&mut self) {
+        // Best-effort: a staging dir that was never created (error before
+        // the save) or raced away is not worth failing a run over.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
 }
 
 /// Dataset scale, selected with the `IR_BENCH_SCALE` environment variable.
@@ -230,20 +257,20 @@ impl BenchDataset {
             // never sees the fault plan: faults are meant to strike the
             // measured (snapshot-served) engine, mirroring how the built
             // path arms them only after construction.
-            let staged = unique_snapshot_dir(root);
+            let staged = StagedSnapshotDir::unique(root);
             let built = IrEngine::builder().dataset_ref(&dataset).build()?;
-            built.save_snapshot(&staged)?;
+            built.save_snapshot(staged.path())?;
             drop(built);
             // With a snapshot source only the backend's *kind* matters
             // (the snapshot file is served in place); the staged path on
             // the variant documents where the pages live.
             let storage = match backend {
                 BackendKind::Mem => ir_storage::StorageBackend::Memory,
-                BackendKind::File => ir_storage::StorageBackend::Disk(staged.clone()),
-                BackendKind::Mmap => ir_storage::StorageBackend::Mmap(staged.clone()),
+                BackendKind::File => ir_storage::StorageBackend::Disk(staged.path().to_path_buf()),
+                BackendKind::Mmap => ir_storage::StorageBackend::Mmap(staged.path().to_path_buf()),
             };
             let mut builder = IrEngine::builder()
-                .open_snapshot(&staged)
+                .open_snapshot(staged.path())
                 .backend(storage)
                 .threads(threads);
             if let Some(plan) = fault_plan {
@@ -251,6 +278,10 @@ impl BenchDataset {
             }
             let engine = builder.build()?;
             crate::cli::note_cold_start(engine.cold_start_info());
+            // The engine is up (descriptor/mapping established), so the
+            // staging directory may go — success and error paths alike
+            // clean up via the guard's drop.
+            drop(staged);
             return Ok((engine, workload));
         }
         let (storage, scratch) = crate::cli::materialize_backend(backend)?;
@@ -328,6 +359,59 @@ mod tests {
                 built.query(query).unwrap().dims
             );
         }
+    }
+
+    #[test]
+    fn snapshot_staging_dirs_are_cleaned_up() {
+        let root = tempfile::tempdir().unwrap();
+        let list = |root: &Path| -> Vec<PathBuf> {
+            std::fs::read_dir(root)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect()
+        };
+
+        // Success path: the staged `snap-*` dir is gone by the time
+        // `prepare_engine_faulty` returns, on every backend, and the
+        // engine still serves from its (unlinked) snapshot.
+        let mut backends = vec![BackendKind::Mem, BackendKind::File];
+        if cfg!(feature = "mmap") {
+            backends.push(BackendKind::Mmap);
+        }
+        for backend in backends {
+            let (engine, workload) = BenchDataset::St
+                .prepare_engine_faulty(Scale::Smoke, 2, 5, 2, 1, backend, None, Some(root.path()))
+                .unwrap();
+            assert_eq!(
+                list(root.path()),
+                Vec::<PathBuf>::new(),
+                "{backend:?}: staging dir leaked"
+            );
+            let _ = engine.query(&workload.queries()[0]).unwrap();
+        }
+
+        // Error path: an impossible workload config fails preparation
+        // before any staging, and a pre-created collision in the staging
+        // root never survives a failed run either.
+        let err = BenchDataset::St.prepare_engine_faulty(
+            Scale::Smoke,
+            50,
+            5,
+            2,
+            1,
+            BackendKind::Mem,
+            None,
+            Some(root.path()),
+        );
+        assert!(err.is_err());
+        assert_eq!(list(root.path()), Vec::<PathBuf>::new());
+
+        // The guard itself removes a populated staging dir on drop.
+        let staged = StagedSnapshotDir::unique(root.path());
+        std::fs::create_dir_all(staged.path()).unwrap();
+        std::fs::write(staged.path().join("snapshot.bin"), b"x").unwrap();
+        drop(staged);
+        assert_eq!(list(root.path()), Vec::<PathBuf>::new());
     }
 
     #[test]

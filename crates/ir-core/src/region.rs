@@ -120,6 +120,14 @@ impl RegionReport {
         self.dims.iter().find(|d| d.dim == dim)
     }
 
+    /// The top-k result at the query's own weights (deviation zero). Every
+    /// query dimension's region stack carries the same current result, so
+    /// this reads it off the first; an (impossible) empty report yields an
+    /// empty result.
+    pub fn current_result(&self) -> &[TupleId] {
+        self.dims.first().map_or(&[], |d| d.current_result())
+    }
+
     /// The narrowest immutable-region width across dimensions — a scalar
     /// sensitivity indicator (the dimension the result is most sensitive to).
     pub fn most_sensitive_dim(&self) -> Option<(DimId, f64)> {

@@ -18,6 +18,8 @@
 //!   cube, where `C^L_j` dominates and thresholding is the technique that
 //!   matters (Figures 6(b) and 11).
 //! * [`queries`] — query workload generation for each dataset kind.
+//! * [`drift`] — Zipf-popular weight-drift event streams, the workload a
+//!   subscription fleet serves.
 //!
 //! All generators are deterministic given a seed, so every experiment in the
 //! harness is reproducible bit-for-bit.
@@ -26,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod correlated;
+pub mod drift;
 pub mod features;
 pub mod queries;
 pub mod text;
 pub mod zipf;
 
 pub use correlated::{CorrelatedConfig, CorrelatedGenerator};
+pub use drift::{DriftConfig, DriftEvent, DriftStream};
 pub use features::{FeatureConfig, FeatureVectorGenerator};
 pub use queries::{QueryWorkload, WorkloadConfig};
 pub use text::{TextCorpusConfig, TextCorpusGenerator};

@@ -4,6 +4,7 @@
 //! sampler draws term ranks with probability proportional to `1 / rank^s`
 //! using inverse-CDF lookup over a precomputed table (exact, no rejection).
 
+use ir_types::{IrError, IrResult};
 use rand::Rng;
 
 /// Zipf-distributed sampler over ranks `0..n`.
@@ -14,10 +15,36 @@ pub struct ZipfSampler {
 
 impl ZipfSampler {
     /// Creates a sampler over `n` ranks with exponent `s` (`s = 1.0` is the
-    /// classic Zipf law). Panics if `n == 0` or `s < 0`.
+    /// classic Zipf law).
+    ///
+    /// Configuration-driven callers (the drift-stream generator, the fleet
+    /// benchmark) should use [`ZipfSampler::try_new`] instead: a bad
+    /// config there must surface as a typed diagnostic, not a panic.
+    /// This constructor panics if `n == 0` or `s` is negative or not
+    /// finite, and is kept for call sites whose inputs are statically
+    /// known-good.
     pub fn new(n: usize, s: f64) -> Self {
-        assert!(n > 0, "Zipf sampler needs at least one rank");
-        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        match Self::try_new(n, s) {
+            Ok(sampler) => sampler,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ZipfSampler::new`]: a zero rank count or a
+    /// negative / non-finite exponent is reported as
+    /// [`IrError::InvalidConfig`] so library callers fed from user
+    /// configuration can propagate a typed error instead of panicking.
+    pub fn try_new(n: usize, s: f64) -> IrResult<Self> {
+        if n == 0 {
+            return Err(IrError::InvalidConfig(
+                "Zipf sampler needs at least one rank (n = 0)".to_string(),
+            ));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(IrError::InvalidConfig(format!(
+                "Zipf exponent must be finite and non-negative, got {s}"
+            )));
+        }
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 1..=n {
@@ -27,7 +54,7 @@ impl ZipfSampler {
         for c in &mut cumulative {
             *c /= total;
         }
-        ZipfSampler { cumulative }
+        Ok(ZipfSampler { cumulative })
     }
 
     /// Number of ranks.
@@ -106,6 +133,30 @@ mod tests {
         for r in 0..4 {
             assert!((z.probability(r) - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn bad_configs_surface_as_typed_errors() {
+        for (n, s) in [
+            (0usize, 1.0),
+            (10, -0.5),
+            (10, f64::NAN),
+            (10, f64::INFINITY),
+        ] {
+            match ZipfSampler::try_new(n, s) {
+                Err(IrError::InvalidConfig(msg)) => {
+                    assert!(!msg.is_empty(), "diagnostic should explain the rejection")
+                }
+                other => panic!("n={n}, s={s} should be InvalidConfig, got {other:?}"),
+            }
+        }
+        assert!(ZipfSampler::try_new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn infallible_constructor_still_panics_on_zero_ranks() {
+        let _ = ZipfSampler::new(0, 1.0);
     }
 
     #[test]
