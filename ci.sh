@@ -54,7 +54,19 @@
 #                          --exact) with the policy stamps asserted, and
 #                          both are gated against the committed
 #                          bench_baselines/fleet/ baseline
-#  13. bench baseline    — bench_diff compares the stage-9 series against
+#  13. cluster           — the cluster runner (a ShardedEngine over a
+#                          deterministic simulated network) at smoke scale:
+#                          1/2/4 shards × both partition modes, two reorder
+#                          seeds on the mem backend plus the file backend;
+#                          the runner self-checks the determinism contract
+#                          (merged output identical to the single-engine
+#                          oracle, the 1-shard run identical to the
+#                          unsharded engine, conserved message counters;
+#                          exit 1 on violation), all three emissions must
+#                          agree *exactly* and match the committed
+#                          bench_baselines/cluster/ baseline exactly, with
+#                          the topology policy stamps asserted
+#  14. bench baseline    — bench_diff compares the stage-9 series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -88,23 +100,23 @@ RUNNER_BINS=(figure06_partitions figure10_wsj_qlen figure11_st_qlen
     figure15_oneoff_vs_iterative figure16_composition_only
     ablation_design_choices)
 
-MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap"
+MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap,ir-cluster/mmap"
 
-begin_stage "1/13 cargo fmt --check"
+begin_stage "1/14 cargo fmt --check"
 cargo fmt --all --check
 end_stage
 
-begin_stage "2/13 cargo clippy (default + mmap), warnings are errors"
+begin_stage "2/14 cargo clippy (default + mmap), warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features "$MMAP_FEATURES" -- -D warnings
 end_stage
 
-begin_stage "3/13 tier-1: cargo build --release && cargo test -q"
+begin_stage "3/14 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 end_stage
 
-begin_stage "4/13 feature matrix + no-unsafe assertions"
+begin_stage "4/14 feature matrix + no-unsafe assertions"
 for crate in ir-storage immutable-regions; do
     for flags in "--no-default-features" "" "--features mmap"; do
         printf -- '--- %s %s\n' "$crate" "${flags:-"(default)"}"
@@ -143,7 +155,7 @@ fi
 echo "no-unsafe assertions hold"
 end_stage
 
-begin_stage "5/13 robustness: chaos suite + unwrap/expect lint gate"
+begin_stage "5/14 robustness: chaos suite + unwrap/expect lint gate"
 # The chaos suite injects seeded faults (transients, outages, corruption,
 # worker panics) into every backend at 1/2/8 workers and asserts typed
 # errors, byte-identical recovery and a serviceable engine afterwards.
@@ -157,7 +169,7 @@ cargo clippy -q --no-deps -p ir-storage --features mmap --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 end_stage
 
-begin_stage "6/13 cargo doc --no-deps (rustdoc warnings are errors)"
+begin_stage "6/14 cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
     -p ir-datagen -p ir-bench -p immutable-regions
@@ -165,7 +177,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-storage --features mmap
 end_stage
 
-begin_stage "7/13 benches compile"
+begin_stage "7/14 benches compile"
 cargo bench --no-run
 end_stage
 
@@ -182,11 +194,15 @@ snap_mmap="$(mktemp -d)"
 cold_dir="$(mktemp -d)"
 fleet_mem="$(mktemp -d)"
 fleet_file="$(mktemp -d)"
+cluster_mem="$(mktemp -d)"
+cluster_seed2="$(mktemp -d)"
+cluster_file="$(mktemp -d)"
 trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" \
     "$emit_dir_file_t2" "$snap_root" "$snap_built" "$snap_mem" "$snap_file" \
-    "$snap_mmap" "$cold_dir" "$fleet_mem" "$fleet_file"' EXIT
+    "$snap_mmap" "$cold_dir" "$fleet_mem" "$fleet_file" \
+    "$cluster_mem" "$cluster_seed2" "$cluster_file"' EXIT
 
-begin_stage "8/13 example + figure-runner smoke loop (sequential, mem)"
+begin_stage "8/14 example + figure-runner smoke loop (sequential, mem)"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -200,7 +216,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "9/13 figure runners at --threads 2 (parallel path) + JSON emission"
+begin_stage "9/14 figure runners at --threads 2 (parallel path) + JSON emission"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
@@ -208,7 +224,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "10/13 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
+begin_stage "10/14 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (mmap, threads=1): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
@@ -248,7 +264,7 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_mmap_t2"
 end_stage
 
-begin_stage "11/13 snapshot matrix: save/reopen under every backend + exact diff"
+begin_stage "11/14 snapshot matrix: save/reopen under every backend + exact diff"
 # Built-index oracle emission for the representative figure (mem, threads 2).
 IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
     --threads 2 --emit-json "$snap_built" >/dev/null
@@ -285,7 +301,7 @@ grep -q '"source":"Snapshot"' "$cold_dir"/BENCH_coldstart.json ||
     { echo "FAIL: BENCH_coldstart.json carries no snapshot stamp" >&2; exit 1; }
 end_stage
 
-begin_stage "12/13 fleet service: drift-stream serving on mem + file backends"
+begin_stage "12/14 fleet service: drift-stream serving on mem + file backends"
 # The fleet runner is self-checking (every event answered exactly once, the
 # in-region majority served locally, batches bounded, manager stats equal
 # to the engine health counters) and exits non-zero on any violation.
@@ -312,7 +328,48 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines/fleet "$fleet_file"
 end_stage
 
-begin_stage "13/13 bench_diff against committed baseline"
+begin_stage "13/14 cluster: sharded engine vs oracle, two seeds, mem + file"
+# The cluster runner is self-checking (merged regions byte-identical to the
+# single-engine oracle at every shard count and partition mode, the 1-shard
+# by-query run identical to the unsharded engine's answers, conserved
+# message counters) and exits non-zero on any violation.
+printf -- '--- cluster runner (mem, seed 49413)\n'
+IR_BENCH_SCALE=smoke IR_BENCH_CLUSTER_SEED=49413 \
+    cargo run --release -q -p ir-bench --bin cluster -- \
+    --emit-json "$cluster_mem" >/dev/null
+printf -- '--- cluster runner (mem, seed 77)\n'
+IR_BENCH_SCALE=smoke IR_BENCH_CLUSTER_SEED=77 \
+    cargo run --release -q -p ir-bench --bin cluster -- \
+    --emit-json "$cluster_seed2" >/dev/null
+printf -- '--- cluster runner (file, seed 49413)\n'
+IR_BENCH_SCALE=smoke IR_BENCH_CLUSTER_SEED=49413 \
+    cargo run --release -q -p ir-bench --bin cluster -- \
+    --backend file --emit-json "$cluster_file" >/dev/null
+# The topology policy stamps prove sharded runs actually happened (an
+# unsharded regression would emit "cluster":null and pass vacuously), and
+# the backend stamps prove the file matrix leg really left mem.
+for d in "$cluster_mem" "$cluster_seed2" "$cluster_file"; do
+    grep -q '"cluster":{"shards":4' "$d"/BENCH_cluster.json ||
+        { echo "FAIL: $d/BENCH_cluster.json carries no 4-shard topology stamp" >&2; exit 1; }
+done
+grep -q '"backend":"Mem"' "$cluster_mem"/BENCH_cluster.json ||
+    { echo "FAIL: cluster emission was not served by the mem backend" >&2; exit 1; }
+grep -q '"backend":"File"' "$cluster_file"/BENCH_cluster.json ||
+    { echo "FAIL: cluster emission was not served by the file backend" >&2; exit 1; }
+# Delivery order and backend must never leak into the counters: the two
+# seeds and the file leg must agree with the mem emission exactly, and all
+# of it must match the committed cluster baseline exactly.
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact "$cluster_mem" "$cluster_seed2"
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact "$cluster_mem" "$cluster_file"
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact bench_baselines/cluster "$cluster_mem"
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact bench_baselines/cluster "$cluster_file"
+end_stage
+
+begin_stage "14/14 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_t2"
 end_stage

@@ -48,6 +48,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -205,6 +206,13 @@ pub struct EnginePolicy {
     /// what actually happened and the experiment harness stamps it into
     /// emitted series; [`IrEngineBuilder::policy`] does not apply it.
     pub cold_start: ColdStartInfo,
+    /// The cluster topology this engine served under, if any (`null`/`None`
+    /// — the default — means a plain unsharded engine).
+    ///
+    /// Descriptive metadata stamped by the `ir-cluster` coordinator so every
+    /// `BENCH_*.json` records how many shards produced the numbers, how the
+    /// work was partitioned and which seed drove the simulated network.
+    pub cluster: Option<ClusterTopology>,
 }
 
 impl Default for EnginePolicy {
@@ -215,8 +223,63 @@ impl Default for EnginePolicy {
             backend: BackendKind::Mem,
             fault_plan: None,
             cold_start: ColdStartInfo::default(),
+            cluster: None,
         }
     }
+}
+
+/// How a sharded cluster splits a batch of region computations across its
+/// nodes (see the `ir-cluster` crate; defined here so [`EnginePolicy`] can
+/// record it without depending on the cluster layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Shard by query dimension: every node holds the full index and solves
+    /// the dimensions assigned to it (`dim_index % shards`), one partial
+    /// region per dimension.
+    #[default]
+    ByDim,
+    /// Shard by query: every node solves whole queries
+    /// (`query_index % shards`) with the plain sequential solver.
+    ByQuery,
+}
+
+impl fmt::Display for PartitionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionMode::ByDim => "by-dim",
+            PartitionMode::ByQuery => "by-query",
+        })
+    }
+}
+
+impl FromStr for PartitionMode {
+    type Err = EngineError;
+
+    /// Accepts both the CLI spellings (`by-dim`) and the serialized variant
+    /// names (`ByDim`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "by-dim" | "bydim" | "dim" => Ok(PartitionMode::ByDim),
+            "by-query" | "byquery" | "query" => Ok(PartitionMode::ByQuery),
+            other => Err(EngineError::Policy(format!(
+                "unknown partition mode `{other}` (expected by-dim or by-query)"
+            ))),
+        }
+    }
+}
+
+/// The shape of a sharded cluster run, as stamped into [`EnginePolicy`] and
+/// `BENCH_*.json` metadata: shard count, partition mode and the seed that
+/// drove the simulated network's delivery order (and any churn schedule).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Number of shard nodes the work was partitioned across.
+    pub shards: u32,
+    /// How the work was split ([`PartitionMode`]).
+    pub partition: PartitionMode,
+    /// The seed of the simulated network (message delay/reordering/drop)
+    /// and churn schedule. Two runs with equal topology are byte-identical.
+    pub seed: u64,
 }
 
 impl EnginePolicy {
@@ -521,6 +584,8 @@ struct EngineHealth {
     fleet_local_answers: AtomicU64,
     fleet_recomputes: AtomicU64,
     fleet_batches: AtomicU64,
+    shard_solves: AtomicU64,
+    shard_partials: AtomicU64,
 }
 
 /// A point-in-time view of an engine's cumulative health counters
@@ -557,6 +622,12 @@ pub struct EngineHealthSnapshot {
     /// Recompute batches a fleet manager flushed through
     /// [`IrEngine::query_batch`].
     pub fleet_batches: u64,
+    /// Work units (whole queries or single dimensions, depending on the
+    /// partition mode) this engine solved as a cluster shard node.
+    pub shard_solves: u64,
+    /// Partial-region messages this engine's shard node sent back to a
+    /// cluster coordinator.
+    pub shard_partials: u64,
 }
 
 impl EngineHealthSnapshot {
@@ -626,6 +697,7 @@ impl IrEngine {
             backend: self.index.backend_kind(),
             fault_plan: self.index.fault_plan().cloned(),
             cold_start: self.index.cold_start_info(),
+            cluster: None,
         }
     }
 
@@ -645,6 +717,8 @@ impl IrEngine {
             fleet_local_answers: self.health.fleet_local_answers.load(Ordering::Relaxed),
             fleet_recomputes: self.health.fleet_recomputes.load(Ordering::Relaxed),
             fleet_batches: self.health.fleet_batches.load(Ordering::Relaxed),
+            shard_solves: self.health.shard_solves.load(Ordering::Relaxed),
+            shard_partials: self.health.shard_partials.load(Ordering::Relaxed),
         }
     }
 
@@ -662,6 +736,19 @@ impl IrEngine {
         self.health
             .fleet_batches
             .fetch_add(batches, Ordering::Relaxed);
+    }
+
+    /// Records cluster shard-node traffic in the shared health counters:
+    /// `solves` work units answered and `partials` partial-region messages
+    /// sent to a coordinator. Public because the `ir-cluster` crate sits
+    /// above this one.
+    pub fn note_shard_traffic(&self, solves: u64, partials: u64) {
+        self.health
+            .shard_solves
+            .fetch_add(solves, Ordering::Relaxed);
+        self.health
+            .shard_partials
+            .fetch_add(partials, Ordering::Relaxed);
     }
 
     /// Runs one engine operation with failure containment: panics anywhere
@@ -1119,6 +1206,11 @@ mod tests {
                 pages: 17,
                 bytes: 4242,
             },
+            cluster: Some(ClusterTopology {
+                shards: 4,
+                partition: PartitionMode::ByQuery,
+                seed: 0xC1_05_7E,
+            }),
         };
         let json = policy.to_json();
         assert_eq!(EnginePolicy::from_json(&json).unwrap(), policy);
@@ -1132,6 +1224,13 @@ mod tests {
             EnginePolicy::default()
                 .to_json()
                 .contains("\"fault_plan\":null"),
+            "{}",
+            EnginePolicy::default().to_json()
+        );
+        assert!(
+            EnginePolicy::default()
+                .to_json()
+                .contains("\"cluster\":null"),
             "{}",
             EnginePolicy::default().to_json()
         );

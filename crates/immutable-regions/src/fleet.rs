@@ -49,7 +49,7 @@
 use crate::engine::{immutable_under, EngineError, EngineResult, IrEngine};
 use ir_core::RegionReport;
 use ir_datagen::DriftEvent;
-use ir_types::{QueryVector, TupleId};
+use ir_types::{QueryVector, SeededLcg, TupleId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -485,7 +485,7 @@ impl SubscriptionManager {
         }
         let heat = |job: &PendingJob| self.entries[&job.sub].heat + 1;
         let mut list = CandidateList::new(jobs.iter().map(heat));
-        let mut rng = Lcg::new(self.config.scheduler_seed ^ jobs[0].seq);
+        let mut rng = SeededLcg::mixed(self.config.scheduler_seed ^ jobs[0].seq);
         let mut order = Vec::with_capacity(jobs.len());
         while order.len() < jobs.len() {
             order.push(list.draw(&mut rng));
@@ -563,12 +563,12 @@ impl CandidateList {
 
     /// Draws one unmarked candidate, marking it; rebalances once marked
     /// entries reach half the list.
-    fn draw(&mut self, rng: &mut Lcg) -> usize {
+    fn draw(&mut self, rng: &mut SeededLcg) -> usize {
         loop {
             if self.marked * 2 >= self.candidates.len() {
                 *self = self.rebalanced();
             }
-            let r = rng.next() % self.total_weight.max(1);
+            let r = rng.next_mixed() % self.total_weight.max(1);
             let pos = self.find(r);
             let c = &mut self.candidates[pos];
             if !c.is_marked_for_deletion {
@@ -577,29 +577,6 @@ impl CandidateList {
                 return c.index;
             }
         }
-    }
-}
-
-/// The MMIX linear congruential generator — the same inline deterministic
-/// source `FaultPlan` uses, so the scheduler needs no RNG dependency.
-struct Lcg {
-    state: u64,
-}
-
-impl Lcg {
-    fn new(seed: u64) -> Self {
-        Lcg {
-            state: seed ^ 0x9E37_79B9_7F4A_7C15,
-        }
-    }
-
-    fn next(&mut self) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        // The multiplier mixes high bits far better than low ones.
-        self.state >> 11
     }
 }
 
@@ -757,7 +734,7 @@ mod tests {
         let mut first_draws = Vec::new();
         for seed in 0..32 {
             let mut list = CandidateList::new(weights.iter().copied());
-            let mut rng = Lcg::new(seed);
+            let mut rng = SeededLcg::mixed(seed);
             let mut drawn = Vec::new();
             for _ in 0..weights.len() {
                 drawn.push(list.draw(&mut rng));

@@ -74,8 +74,8 @@ pub use ir_types as types;
 /// Everything needed for typical use, importable with one `use`.
 pub mod prelude {
     pub use crate::engine::{
-        EngineError, EngineHealthSnapshot, EnginePolicy, EngineResult, IrEngine, IrEngineBuilder,
-        Subscription,
+        ClusterTopology, EngineError, EngineHealthSnapshot, EnginePolicy, EngineResult, IrEngine,
+        IrEngineBuilder, PartitionMode, Subscription,
     };
     pub use crate::fleet::{
         AnswerKind, FleetAnswer, FleetConfig, FleetMember, FleetStats, SubscriptionManager,

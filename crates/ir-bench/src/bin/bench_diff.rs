@@ -7,8 +7,16 @@
 //! pass [`ir_bench::compare_figures`]: same methods, same x grids, the
 //! deterministic metrics (evaluated candidates, logical reads, memory)
 //! within 1%, and the cross-method dominance shape intact. Wall-clock and
-//! physical-read metrics are never compared. Exit code 1 on any violation —
-//! the CI regression gate.
+//! physical-read metrics are never compared.
+//!
+//! Exit status distinguishes the failure class: **1** for metric
+//! mismatches (or unreadable files) — a regression in committed coverage —
+//! and **2** when the only violations are *missing series* (a candidate
+//! emission with no committed baseline, or a baseline the run no longer
+//! emits): coverage drift that is fixed by committing or pruning a
+//! baseline, not by chasing a metric. Mixed failures exit 1, the severer
+//! class. The CI regression gate treats both as failures but the message
+//! (and status) tell the operator which playbook applies.
 //!
 //! With `--exact`, the deterministic metrics must match with zero
 //! tolerance — the mode the CI backend matrix uses to prove that a mem-
@@ -117,8 +125,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Violations grouped per series file, so the offender is named up front.
-    let mut violations: Vec<(String, Vec<String>)> = Vec::new();
+    // Violations grouped per series file, so the offender is named up
+    // front. Missing-series violations (coverage drift) are tracked apart
+    // from metric mismatches (regressions) — they exit with different
+    // status codes.
+    let mut missing: Vec<(String, String)> = Vec::new();
+    let mut mismatches: Vec<(String, Vec<String>)> = Vec::new();
     let mut compared = 0usize;
 
     // Candidate emissions with no committed baseline would otherwise get
@@ -126,11 +138,9 @@ fn main() -> ExitCode {
     if let Ok(candidate_files) = bench_files(candidate_dir) {
         for name in candidate_files {
             if !baseline_files.contains(&name) {
-                violations.push((
+                missing.push((
                     name.clone(),
-                    vec![format!(
-                        "emitted but not in the baseline — commit it to {baseline_dir}"
-                    )],
+                    format!("emitted but not in the baseline — commit it to {baseline_dir}"),
                 ));
             }
         }
@@ -142,7 +152,10 @@ fn main() -> ExitCode {
             Ok(baseline) => {
                 let candidate_path = Path::new(candidate_dir).join(name);
                 if !candidate_path.exists() {
-                    file_violations.push("missing from candidate run".to_string());
+                    missing.push((
+                        name.clone(),
+                        "in the baseline but missing from the candidate run".to_string(),
+                    ));
                 } else {
                     match read_figure(&candidate_path) {
                         Ok(candidate) => {
@@ -160,24 +173,35 @@ fn main() -> ExitCode {
             Err(e) => file_violations.push(format!("baseline unreadable: {e}")),
         }
         if !file_violations.is_empty() {
-            violations.push((name.clone(), file_violations));
+            mismatches.push((name.clone(), file_violations));
         }
     }
 
-    if violations.is_empty() {
+    if missing.is_empty() && mismatches.is_empty() {
         println!("bench_diff: {compared} figure series match the baseline");
         return ExitCode::SUCCESS;
     }
 
-    let total: usize = violations.iter().map(|(_, v)| v.len()).sum();
-    eprintln!(
-        "bench_diff: {total} violation(s) in {} series file(s):",
-        violations.len()
-    );
-    for (name, file_violations) in &violations {
-        eprintln!("  {name}:");
-        for v in file_violations {
-            eprintln!("    - {v}");
+    if !mismatches.is_empty() {
+        let total: usize = mismatches.iter().map(|(_, v)| v.len()).sum();
+        eprintln!(
+            "bench_diff: {total} metric violation(s) in {} series file(s):",
+            mismatches.len()
+        );
+        for (name, file_violations) in &mismatches {
+            eprintln!("  {name}:");
+            for v in file_violations {
+                eprintln!("    - {v}");
+            }
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_diff: {} missing series (coverage drift, no metric compared):",
+            missing.len()
+        );
+        for (name, reason) in &missing {
+            eprintln!("  {name}: {reason}");
         }
     }
     eprintln!(
@@ -185,5 +209,12 @@ fn main() -> ExitCode {
          committed baseline with:\n  bench_diff --update-baseline {baseline_dir} {candidate_dir}\n\
          then review and commit the updated {baseline_dir}/BENCH_*.json files."
     );
-    ExitCode::FAILURE
+    // Metric mismatch (or unreadable file): exit 1. Pure coverage drift
+    // (series missing on one side only): exit 2, so callers can tell a
+    // regression from an uncommitted baseline without parsing stderr.
+    if mismatches.is_empty() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
+    }
 }

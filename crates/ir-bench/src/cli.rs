@@ -41,7 +41,7 @@
 
 use crate::emit::{table_to_series, write_figure};
 use crate::runner::ExperimentTable;
-use immutable_regions::engine::EnginePolicy;
+use immutable_regions::engine::{ClusterTopology, EnginePolicy};
 use ir_core::RegionConfig;
 use ir_storage::{BackendKind, ColdStartInfo, FaultPlan, StorageBackend};
 use ir_types::{IrError, IrResult};
@@ -56,6 +56,11 @@ thread_local! {
     // arguments are parsed, by workload helpers that never see the
     // emission path; runners prepare and emit on one thread.
     static LAST_COLD_START: Cell<Option<ColdStartInfo>> = const { Cell::new(None) };
+
+    // The cluster topology of the most recently prepared sharded run on
+    // this thread (None for every unsharded runner), stamped into emitted
+    // policies the same way cold-start provenance is.
+    static LAST_CLUSTER: Cell<Option<ClusterTopology>> = const { Cell::new(None) };
 }
 
 /// Records how the most recently prepared engine came up (built from the
@@ -65,6 +70,14 @@ thread_local! {
 /// that later emits.
 pub fn note_cold_start(info: ColdStartInfo) {
     LAST_COLD_START.with(|cell| cell.set(Some(info)));
+}
+
+/// Records the cluster topology of the most recently prepared sharded run
+/// so [`BenchArgs::policy_with`] stamps it into emitted metadata. Pass
+/// `None` to return to the unsharded default; thread-local, like
+/// [`note_cold_start`].
+pub fn note_cluster_topology(topology: Option<ClusterTopology>) {
+    LAST_CLUSTER.with(|cell| cell.set(topology));
 }
 
 /// Materializes a backend kind as a concrete [`StorageBackend`], creating a
@@ -261,6 +274,7 @@ impl BenchArgs {
             backend: self.backend,
             fault_plan: self.fault_plan.clone(),
             cold_start: LAST_COLD_START.with(Cell::get).unwrap_or_default(),
+            cluster: LAST_CLUSTER.with(Cell::get),
         }
     }
 

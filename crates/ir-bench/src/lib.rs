@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod runner;
 pub mod workloads;
 
-pub use cli::{materialize_backend, note_cold_start, BenchArgs};
+pub use cli::{materialize_backend, note_cluster_topology, note_cold_start, BenchArgs};
 pub use emit::{
     compare_figures, compare_figures_with_tolerance, read_figure, table_to_series, write_figure,
     FigureSeries,

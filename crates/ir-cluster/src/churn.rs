@@ -1,0 +1,86 @@
+//! Shard-death schedules and what redistribution reports back.
+//!
+//! A [`ChurnPlan`] kills one shard node after a fixed number of delivered
+//! events — mid-batch, deterministically, at the same point of every
+//! replay. The coordinator then:
+//!
+//! 1. discards the dead shard's in-flight traffic (requests it will never
+//!    serve, partials that died with it),
+//! 2. re-homes its unanswered work units — onto a **replacement node
+//!    brought up from the same snapshot** when [`ChurnPlan::respawn`] is
+//!    set, or round-robin across the survivors otherwise (both paths are
+//!    snapshot-served: every node, replacement or survivor, opened the same
+//!    snapshot at bring-up),
+//! 3. broadcasts a fresh [`ShardMap`](crate::message::ShardMap) and
+//!    re-sends the re-homed requests.
+//!
+//! Because the kill point, the redistribution and the re-sends are all
+//! deterministic, a churned run is as replayable as a calm one — and the
+//! oracle suite asserts its merged output is *byte-identical* to the
+//! single-engine result.
+
+/// When to kill which shard, and how to re-home its work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// The shard slot to kill.
+    pub kill_shard: u32,
+    /// Fire after this many events have been delivered (0 kills the shard
+    /// before it serves anything).
+    pub after_deliveries: u64,
+    /// `true`: bring a replacement node up from the snapshot into the same
+    /// slot. `false`: redistribute the dead shard's units across survivors.
+    pub respawn: bool,
+}
+
+impl ChurnPlan {
+    /// Kill `shard` after `after_deliveries` events, redistributing to
+    /// survivors.
+    pub fn kill(shard: u32, after_deliveries: u64) -> Self {
+        ChurnPlan {
+            kill_shard: shard,
+            after_deliveries,
+            respawn: false,
+        }
+    }
+
+    /// Kill `shard` after `after_deliveries` events, then respawn it from
+    /// the snapshot.
+    pub fn kill_and_respawn(shard: u32, after_deliveries: u64) -> Self {
+        ChurnPlan {
+            kill_shard: shard,
+            after_deliveries,
+            respawn: true,
+        }
+    }
+}
+
+/// What a fired churn event did — part of
+/// [`ClusterRunStats`](crate::engine::ClusterRunStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// The shard slot that was killed.
+    pub killed_shard: u32,
+    /// Delivered-event count at which the kill fired.
+    pub fired_at_delivery: u64,
+    /// Whether a replacement node was brought up from the snapshot.
+    pub respawned: bool,
+    /// Work units re-homed and re-sent.
+    pub redistributed_units: u64,
+    /// In-flight messages that died with the shard.
+    pub discarded_messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_the_obvious_fields() {
+        let kill = ChurnPlan::kill(2, 40);
+        assert_eq!(kill.kill_shard, 2);
+        assert_eq!(kill.after_deliveries, 40);
+        assert!(!kill.respawn);
+        let respawn = ChurnPlan::kill_and_respawn(1, 7);
+        assert!(respawn.respawn);
+    }
+}

@@ -1,0 +1,177 @@
+//! The deterministic event queue at the heart of the cluster simulation.
+//!
+//! Every in-flight message is an event with a virtual delivery time. Events
+//! pop in `(time, sequence)` order: the sequence number — assigned at
+//! scheduling, never reused — breaks ties, so two events due at the same
+//! virtual instant always deliver in the order they were scheduled. That
+//! total order is what makes whole simulated runs replayable: same seeds,
+//! same schedule, same byte-identical outcome, on any machine.
+//!
+//! There is no wall clock anywhere. "Time" is a `u64` the network advances
+//! as it assigns delivery delays, and [`EventSchedule::pop`] moves `now` to
+//! each delivered event's timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: when it delivers, its tie-break sequence, payload.
+#[derive(Clone, Debug)]
+pub struct ScheduledEvent<T> {
+    /// Virtual delivery time.
+    pub at: u64,
+    /// Scheduling sequence number (global, monotonic) — the deterministic
+    /// tie-break for events due at the same instant.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+/// Internal heap entry ordered so the `BinaryHeap` (a max-heap) pops the
+/// *smallest* `(at, seq)` first.
+struct HeapEntry<T>(ScheduledEvent<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.seq) == (other.0.at, other.0.seq)
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smallest (at, seq) is the heap maximum.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic discrete-event schedule.
+#[derive(Default)]
+pub struct EventSchedule<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<T> EventSchedule<T> {
+    /// An empty schedule at virtual time zero.
+    pub fn new() -> Self {
+        EventSchedule {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `payload` for delivery at virtual time `at` (clamped to
+    /// never fire in the past) and returns its sequence number.
+    pub fn schedule_at(&mut self, at: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(ScheduledEvent {
+            at: at.max(self.now),
+            seq,
+            payload,
+        }));
+        seq
+    }
+
+    /// Pops the next event in `(at, seq)` order, advancing `now` to its
+    /// timestamp. `None` when the schedule has drained.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        let event = self.heap.pop()?.0;
+        self.now = event.at;
+        Some(event)
+    }
+
+    /// Number of events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every queued event failing `keep`, returning how many were
+    /// removed — how churn discards a dead shard's in-flight traffic.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) -> u64 {
+        let before = self.heap.len();
+        let kept: Vec<HeapEntry<T>> = self
+            .heap
+            .drain()
+            .filter(|entry| keep(&entry.0.payload))
+            .collect();
+        let removed = before - kept.len();
+        self.heap = kept.into_iter().collect();
+        removed as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_sequence_order() {
+        let mut schedule = EventSchedule::new();
+        schedule.schedule_at(5, "late");
+        schedule.schedule_at(1, "first-at-1");
+        schedule.schedule_at(1, "second-at-1");
+        schedule.schedule_at(3, "middle");
+        let order: Vec<&str> = std::iter::from_fn(|| schedule.pop())
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(order, ["first-at-1", "second-at-1", "middle", "late"]);
+    }
+
+    #[test]
+    fn now_advances_and_past_schedules_clamp() {
+        let mut schedule = EventSchedule::new();
+        schedule.schedule_at(10, "a");
+        assert_eq!(schedule.pop().unwrap().at, 10);
+        assert_eq!(schedule.now(), 10);
+        // Scheduling "in the past" clamps to now — time never runs backwards.
+        schedule.schedule_at(2, "b");
+        let event = schedule.pop().unwrap();
+        assert_eq!(event.at, 10);
+        assert_eq!(schedule.now(), 10);
+    }
+
+    #[test]
+    fn retain_discards_and_counts() {
+        let mut schedule = EventSchedule::new();
+        for i in 0..6u64 {
+            schedule.schedule_at(i, i);
+        }
+        let removed = schedule.retain(|&v| v % 2 == 0);
+        assert_eq!(removed, 3);
+        let left: Vec<u64> = std::iter::from_fn(|| schedule.pop())
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(left, [0, 2, 4]);
+    }
+
+    #[test]
+    fn identical_schedules_replay_identically() {
+        let run = || {
+            let mut schedule = EventSchedule::new();
+            for i in 0..32u64 {
+                schedule.schedule_at(i * 7 % 13, i);
+            }
+            std::iter::from_fn(move || schedule.pop())
+                .map(|e| (e.at, e.seq, e.payload))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

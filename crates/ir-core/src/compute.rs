@@ -139,6 +139,15 @@ impl<'a> RegionComputation<'a> {
         &self.ta
     }
 
+    /// The I/O the initial top-k phase cost, as attributed to the calling
+    /// thread — what [`RegionComputation::compute`] stamps into
+    /// [`ComputationStats::topk_io`](crate::metrics::ComputationStats).
+    /// Exposed so external per-dimension drivers (the cluster coordinator)
+    /// can assemble identical stats.
+    pub fn topk_io(&self) -> IoStatsSnapshot {
+        self.topk_io
+    }
+
     /// The configuration in effect.
     pub fn config(&self) -> RegionConfig {
         self.config

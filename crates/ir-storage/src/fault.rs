@@ -30,6 +30,7 @@
 use crate::page::{PageBuf, PageId};
 use crate::pagestore::PageStore;
 use crate::stats::IoStatsSnapshot;
+use ir_types::rng::SeededLcg;
 use ir_types::{IrError, IrResult};
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -85,14 +86,11 @@ impl FaultPlan {
     /// `[0, max_op)`, derived deterministically from `seed`.
     pub fn transient_reads(seed: u64, count: usize, max_op: u64) -> FaultPlan {
         let mut ops = Vec::with_capacity(count);
-        // Small multiplicative LCG (Knuth's MMIX constants): good enough to
-        // scatter fault ops, trivially reproducible from the seed.
-        let mut state = seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        // The shared workspace LCG, in its raw-state scatter convention —
+        // the draw sequence is part of the serialized-plan contract.
+        let mut lcg = SeededLcg::scatter(seed);
         while ops.len() < count && max_op > 0 {
-            state = state
-                .wrapping_mul(6_364_136_223_846_793_005)
-                .wrapping_add(1_442_695_040_888_963_407);
-            let op = state % max_op;
+            let op = lcg.next_state() % max_op;
             if !ops.contains(&op) {
                 ops.push(op);
             }

@@ -60,7 +60,7 @@ pub use inverted::{InvertedListCursor, ListDirectoryEntry};
 pub use mmap::MmapPageStore;
 pub use page::{PageId, PAGE_SIZE};
 pub use pagestore::{FilePageStore, MemPageStore, PageStore};
-pub use snapshot::SnapshotSummary;
+pub use snapshot::{SnapshotPeek, SnapshotSummary};
 pub use stats::{
     set_thread_stats_shard, thread_stats_shard, IoConfig, IoStats, IoStatsSnapshot, ShardedIoStats,
     IO_STATS_SHARDS,

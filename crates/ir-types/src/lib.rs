@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod error;
 pub mod ids;
 pub mod query;
+pub mod rng;
 pub mod score;
 pub mod tuple;
 
@@ -33,5 +34,6 @@ pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
 pub use error::{IrError, IrResult};
 pub use ids::{DimId, TupleId};
 pub use query::{QueryBuilder, QueryVector};
+pub use rng::SeededLcg;
 pub use score::{score_cmp, total_cmp_desc, RankedTuple, TopKResult};
 pub use tuple::SparseVector;
