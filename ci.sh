@@ -17,9 +17,13 @@
 #                          the default and the `mmap` feature config, plus
 #                          a clippy gate that denies unwrap/expect in the
 #                          non-test code of ir-storage and ir-core
-#   6. api docs          — cargo doc --no-deps with rustdoc warnings as
-#                          errors, so the public API (the IrEngine façade
-#                          in particular) stays fully documented
+#   6. api docs          — cargo doc --no-deps for all nine crates with
+#                          rustdoc warnings as errors, so the public API
+#                          (the IrEngine façade in particular) stays fully
+#                          documented; grep-asserts that the README links
+#                          ARCHITECTURE.md and that the doc anchors both
+#                          files promise (layer diagram, formats, update
+#                          flow, the Dynamic updates section) resolve
 #   7. bench compilation — the criterion benches must at least build
 #   8. example smoke     — every example and figure runner runs to
 #                          completion sequentially (mem backend), emitting
@@ -66,7 +70,20 @@
 #                          agree *exactly* and match the committed
 #                          bench_baselines/cluster/ baseline exactly, with
 #                          the topology policy stamps asserted
-#  14. bench baseline    — bench_diff compares the stage-9 series against
+#  14. dynamic updates   — the dynamic runner (a subscription fleet under a
+#                          deterministic Zipf-popular tuple-update stream)
+#                          at smoke scale on the mem and file backends; the
+#                          runner self-checks the update model (survival
+#                          majority, maintenance I/O strictly below the
+#                          rebuild-per-batch I/O, incremental answers and
+#                          maintained region reports byte-identical to a
+#                          fresh engine on the mutated dataset, manager and
+#                          engine health counters in agreement; exit 1 on
+#                          violation), the two emissions must match
+#                          *exactly* (bench_diff --exact) with the policy
+#                          stamps asserted, and both are gated against the
+#                          committed bench_baselines/dynamic/ baseline
+#  15. bench baseline    — bench_diff compares the stage-9 series against
 #                          the committed bench_baselines/ (shape and the
 #                          deterministic metrics, never wall-clock)
 #
@@ -102,21 +119,21 @@ RUNNER_BINS=(figure06_partitions figure10_wsj_qlen figure11_st_qlen
 
 MMAP_FEATURES="ir-storage/mmap,immutable-regions/mmap,ir-bench/mmap,ir-cluster/mmap"
 
-begin_stage "1/14 cargo fmt --check"
+begin_stage "1/15 cargo fmt --check"
 cargo fmt --all --check
 end_stage
 
-begin_stage "2/14 cargo clippy (default + mmap), warnings are errors"
+begin_stage "2/15 cargo clippy (default + mmap), warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features "$MMAP_FEATURES" -- -D warnings
 end_stage
 
-begin_stage "3/14 tier-1: cargo build --release && cargo test -q"
+begin_stage "3/15 tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 end_stage
 
-begin_stage "4/14 feature matrix + no-unsafe assertions"
+begin_stage "4/15 feature matrix + no-unsafe assertions"
 for crate in ir-storage immutable-regions; do
     for flags in "--no-default-features" "" "--features mmap"; do
         printf -- '--- %s %s\n' "$crate" "${flags:-"(default)"}"
@@ -155,7 +172,7 @@ fi
 echo "no-unsafe assertions hold"
 end_stage
 
-begin_stage "5/14 robustness: chaos suite + unwrap/expect lint gate"
+begin_stage "5/15 robustness: chaos suite + unwrap/expect lint gate"
 # The chaos suite injects seeded faults (transients, outages, corruption,
 # worker panics) into every backend at 1/2/8 workers and asserts typed
 # errors, byte-identical recovery and a serviceable engine afterwards.
@@ -169,15 +186,31 @@ cargo clippy -q --no-deps -p ir-storage --features mmap --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 end_stage
 
-begin_stage "6/14 cargo doc --no-deps (rustdoc warnings are errors)"
+begin_stage "6/15 cargo doc --no-deps (rustdoc warnings are errors) + doc anchors"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-types -p ir-storage -p ir-geometry -p ir-topk -p ir-core \
-    -p ir-datagen -p ir-bench -p immutable-regions
+    -p ir-datagen -p ir-bench -p ir-cluster -p immutable-regions
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p ir-storage --features mmap
+# The prose docs must stay wired together: the README links the
+# architecture doc, and the section anchors each file promises the other
+# (and the ROADMAP/tests reference) actually resolve.
+grep -q '(ARCHITECTURE.md)' README.md ||
+    { echo "FAIL: README.md does not link ARCHITECTURE.md" >&2; exit 1; }
+for anchor in '^## Layer diagram' '^## Determinism and the oracle philosophy' \
+    '^## On-disk formats' '^## The update / invalidation data flow'; do
+    grep -q "$anchor" ARCHITECTURE.md ||
+        { echo "FAIL: ARCHITECTURE.md anchor missing: $anchor" >&2; exit 1; }
+done
+for anchor in '^## Dynamic updates' '^## Snapshots & cold start' \
+    '^## Serving a subscription fleet'; do
+    grep -q "$anchor" README.md ||
+        { echo "FAIL: README.md anchor missing: $anchor" >&2; exit 1; }
+done
+echo "doc anchors resolve"
 end_stage
 
-begin_stage "7/14 benches compile"
+begin_stage "7/15 benches compile"
 cargo bench --no-run
 end_stage
 
@@ -197,12 +230,15 @@ fleet_file="$(mktemp -d)"
 cluster_mem="$(mktemp -d)"
 cluster_seed2="$(mktemp -d)"
 cluster_file="$(mktemp -d)"
+dynamic_mem="$(mktemp -d)"
+dynamic_file="$(mktemp -d)"
 trap 'rm -rf "$emit_dir_t1" "$emit_dir_t2" "$emit_dir_mmap_t1" "$emit_dir_mmap_t2" \
     "$emit_dir_file_t2" "$snap_root" "$snap_built" "$snap_mem" "$snap_file" \
     "$snap_mmap" "$cold_dir" "$fleet_mem" "$fleet_file" \
-    "$cluster_mem" "$cluster_seed2" "$cluster_file"' EXIT
+    "$cluster_mem" "$cluster_seed2" "$cluster_file" \
+    "$dynamic_mem" "$dynamic_file"' EXIT
 
-begin_stage "8/14 example + figure-runner smoke loop (sequential, mem)"
+begin_stage "8/15 example + figure-runner smoke loop (sequential, mem)"
 for example in quickstart document_retrieval hotel_sensitivity weight_tuning; do
     printf -- '--- example: %s\n' "$example"
     cargo run --release -q -p immutable-regions --example "$example" >/dev/null
@@ -216,7 +252,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "9/14 figure runners at --threads 2 (parallel path) + JSON emission"
+begin_stage "9/15 figure runners at --threads 2 (parallel path) + JSON emission"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (threads=2): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin "$figure_bin" -- \
@@ -224,7 +260,7 @@ for figure_bin in "${RUNNER_BINS[@]}"; do
 done
 end_stage
 
-begin_stage "10/14 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
+begin_stage "10/15 backend matrix: mmap at --threads 1 and 2, file at --threads 2"
 for figure_bin in "${RUNNER_BINS[@]}"; do
     printf -- '--- figure runner (mmap, threads=1): %s\n' "$figure_bin"
     IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --features mmap \
@@ -264,7 +300,7 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_mmap_t2"
 end_stage
 
-begin_stage "11/14 snapshot matrix: save/reopen under every backend + exact diff"
+begin_stage "11/15 snapshot matrix: save/reopen under every backend + exact diff"
 # Built-index oracle emission for the representative figure (mem, threads 2).
 IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin figure11_st_qlen -- \
     --threads 2 --emit-json "$snap_built" >/dev/null
@@ -301,7 +337,7 @@ grep -q '"source":"Snapshot"' "$cold_dir"/BENCH_coldstart.json ||
     { echo "FAIL: BENCH_coldstart.json carries no snapshot stamp" >&2; exit 1; }
 end_stage
 
-begin_stage "12/14 fleet service: drift-stream serving on mem + file backends"
+begin_stage "12/15 fleet service: drift-stream serving on mem + file backends"
 # The fleet runner is self-checking (every event answered exactly once, the
 # in-region majority served locally, batches bounded, manager stats equal
 # to the engine health counters) and exits non-zero on any violation.
@@ -328,7 +364,7 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines/fleet "$fleet_file"
 end_stage
 
-begin_stage "13/14 cluster: sharded engine vs oracle, two seeds, mem + file"
+begin_stage "13/15 cluster: sharded engine vs oracle, two seeds, mem + file"
 # The cluster runner is self-checking (merged regions byte-identical to the
 # single-engine oracle at every shard count and partition mode, the 1-shard
 # by-query run identical to the unsharded engine's answers, conserved
@@ -369,7 +405,35 @@ cargo run --release -q -p ir-bench --bin bench_diff -- \
     --exact bench_baselines/cluster "$cluster_file"
 end_stage
 
-begin_stage "14/14 bench_diff against committed baseline"
+begin_stage "14/15 dynamic updates: fleet under tuple churn on mem + file backends"
+# The dynamic runner is self-checking (most regions survive each update
+# batch, maintenance I/O strictly below the rebuild-per-batch I/O, every
+# incremental answer and maintained region report byte-identical to a
+# fresh engine on the mutated dataset, manager stats equal to the engine
+# health counters) and exits non-zero on any violation.
+printf -- '--- dynamic runner (mem, threads=1)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin dynamic -- \
+    --emit-json "$dynamic_mem"
+printf -- '--- dynamic runner (file, threads=2)\n'
+IR_BENCH_SCALE=smoke cargo run --release -q -p ir-bench --bin dynamic -- \
+    --backend file --threads 2 --emit-json "$dynamic_file" >/dev/null
+# The maintenance trace is deterministic, so the two emissions must agree
+# exactly; the policy stamps prove both backends actually ran (a
+# backend-selection regression would otherwise pass vacuously).
+grep -q '"backend":"Mem"' "$dynamic_mem"/BENCH_dynamic.json ||
+    { echo "FAIL: dynamic emission was not served by the mem backend" >&2; exit 1; }
+grep -q '"backend":"File"' "$dynamic_file"/BENCH_dynamic.json ||
+    { echo "FAIL: dynamic emission was not served by the file backend" >&2; exit 1; }
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact "$dynamic_mem" "$dynamic_file"
+# And both must match the committed dynamic baseline exactly.
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact bench_baselines/dynamic "$dynamic_mem"
+cargo run --release -q -p ir-bench --bin bench_diff -- \
+    --exact bench_baselines/dynamic "$dynamic_file"
+end_stage
+
+begin_stage "15/15 bench_diff against committed baseline"
 cargo run --release -q -p ir-bench --bin bench_diff -- \
     bench_baselines "$emit_dir_t2"
 end_stage

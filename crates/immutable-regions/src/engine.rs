@@ -39,11 +39,13 @@ use ir_core::{
     RegionReport,
 };
 use ir_storage::{
-    BackendKind, ColdStartInfo, FaultPlan, IndexBuilder, IoConfig, RetryPolicy, SnapshotSummary,
-    StorageBackend, TopKIndex,
+    AppliedUpdate, BackendKind, ColdStartInfo, FaultPlan, IndexBuilder, IoConfig,
+    MaintenanceStatsSnapshot, RetryPolicy, SnapshotSummary, StorageBackend, TopKIndex,
 };
 use ir_topk::TaConfig;
-use ir_types::{Dataset, DimId, IrError, QueryVector, TopKResult};
+use ir_types::{
+    Dataset, DimId, IrError, QueryVector, SparseVector, TopKResult, TupleId, TupleUpdate,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -586,6 +588,9 @@ struct EngineHealth {
     fleet_batches: AtomicU64,
     shard_solves: AtomicU64,
     shard_partials: AtomicU64,
+    updates_applied: AtomicU64,
+    regions_punctured: AtomicU64,
+    regions_survived: AtomicU64,
 }
 
 /// A point-in-time view of an engine's cumulative health counters
@@ -628,6 +633,15 @@ pub struct EngineHealthSnapshot {
     /// Partial-region messages this engine's shard node sent back to a
     /// cluster coordinator.
     pub shard_partials: u64,
+    /// Logical tuple updates applied through [`IrEngine::apply_updates`]
+    /// (and the [`IrEngine::insert`] / [`IrEngine::delete`] /
+    /// [`IrEngine::update_score`] conveniences).
+    pub updates_applied: u64,
+    /// Cached regions (standalone subscriptions or fleet members) an update
+    /// punctured, forcing a recompute.
+    pub regions_punctured: u64,
+    /// Cached regions that provably survived an update batch untouched.
+    pub regions_survived: u64,
 }
 
 impl EngineHealthSnapshot {
@@ -719,6 +733,9 @@ impl IrEngine {
             fleet_batches: self.health.fleet_batches.load(Ordering::Relaxed),
             shard_solves: self.health.shard_solves.load(Ordering::Relaxed),
             shard_partials: self.health.shard_partials.load(Ordering::Relaxed),
+            updates_applied: self.health.updates_applied.load(Ordering::Relaxed),
+            regions_punctured: self.health.regions_punctured.load(Ordering::Relaxed),
+            regions_survived: self.health.regions_survived.load(Ordering::Relaxed),
         }
     }
 
@@ -736,6 +753,17 @@ impl IrEngine {
         self.health
             .fleet_batches
             .fetch_add(batches, Ordering::Relaxed);
+    }
+
+    /// Records region-survival outcomes of an update screening (standalone
+    /// subscriptions and fleet members alike) in the shared health counters.
+    pub(crate) fn note_region_survival(&self, survived: u64, punctured: u64) {
+        self.health
+            .regions_survived
+            .fetch_add(survived, Ordering::Relaxed);
+        self.health
+            .regions_punctured
+            .fetch_add(punctured, Ordering::Relaxed);
     }
 
     /// Records cluster shard-node traffic in the shared health counters:
@@ -943,6 +971,92 @@ impl IrEngine {
         })
     }
 
+    /// Applies a batch of logical updates to the live index — the dynamic
+    /// half of the paper's system model. The index is maintained **in
+    /// place** (tombstones, in-place rewrites, appends; affected inverted
+    /// lists rewritten once), never rebuilt; the maintained index is
+    /// logically identical to one freshly built from the mutated dataset,
+    /// so every query issued after this returns is answered exactly as a
+    /// full recompute would.
+    ///
+    /// The whole batch is validated first — a malformed update (unknown
+    /// tuple, out-of-range value) rejects the batch with a typed error
+    /// before any page is touched. Returns one [`AppliedUpdate`] per input
+    /// (the touched tuple plus its vector before and after), which is what
+    /// [`Subscription::absorb_updates`] and the fleet manager consume to
+    /// decide which cached regions survived.
+    ///
+    /// Mutations are single-writer and not linearizable with in-flight
+    /// queries: a query racing this call sees either the old or the new
+    /// index, never a torn one.
+    ///
+    /// ```
+    /// use immutable_regions::prelude::*;
+    /// use immutable_regions::types::TupleUpdate;
+    ///
+    /// let engine = IrEngine::builder()
+    ///     .dataset(Dataset::running_example())
+    ///     .build()?;
+    /// let query = QueryVector::running_example();
+    /// assert_eq!(engine.query(&query)?.current_result(), [TupleId(1), TupleId(0)]);
+    ///
+    /// // Insert a tuple that dominates everything: it takes rank 1.
+    /// let applied = engine.apply_updates(&[TupleUpdate::Insert {
+    ///     vector: SparseVector::from_pairs([(0, 0.99), (1, 0.99)])?,
+    /// }])?;
+    /// assert_eq!(applied[0].tuple, TupleId(4));
+    /// assert_eq!(engine.query(&query)?.current_result(), [TupleId(4), TupleId(1)]);
+    ///
+    /// // Deleting it restores the original result exactly.
+    /// engine.delete(TupleId(4))?;
+    /// assert_eq!(engine.query(&query)?.current_result(), [TupleId(1), TupleId(0)]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn apply_updates(&self, updates: &[TupleUpdate]) -> EngineResult<Vec<AppliedUpdate>> {
+        self.run_guarded("apply updates", || {
+            let applied = self.index.apply_updates(updates)?;
+            self.health
+                .updates_applied
+                .fetch_add(applied.len() as u64, Ordering::Relaxed);
+            Ok(applied)
+        })
+    }
+
+    /// Inserts a new tuple (dense id assignment: the new tuple's id is the
+    /// previous cardinality). See [`IrEngine::apply_updates`].
+    pub fn insert(&self, vector: SparseVector) -> EngineResult<AppliedUpdate> {
+        self.apply_one(TupleUpdate::Insert { vector })
+    }
+
+    /// Deletes a tuple. The id stays addressable and reads back as the
+    /// empty vector (ids are never reused). See [`IrEngine::apply_updates`].
+    pub fn delete(&self, tuple: TupleId) -> EngineResult<AppliedUpdate> {
+        self.apply_one(TupleUpdate::Delete { tuple })
+    }
+
+    /// Sets one coordinate of one tuple (`0.0` removes the coordinate). See
+    /// [`IrEngine::apply_updates`].
+    pub fn update_score(
+        &self,
+        tuple: TupleId,
+        dim: DimId,
+        value: f64,
+    ) -> EngineResult<AppliedUpdate> {
+        self.apply_one(TupleUpdate::UpdateScore { tuple, dim, value })
+    }
+
+    fn apply_one(&self, update: TupleUpdate) -> EngineResult<AppliedUpdate> {
+        let mut applied = self.apply_updates(std::slice::from_ref(&update))?;
+        Ok(applied.pop().expect("one update in, one applied out"))
+    }
+
+    /// Cumulative index-maintenance counters (updates, batches, list
+    /// rewrites, tuple relocations, maintenance I/O — accounted separately
+    /// from query I/O).
+    pub fn maintenance_stats(&self) -> MaintenanceStatsSnapshot {
+        self.index.maintenance_stats()
+    }
+
     /// Subscribes a query: computes its result and regions once and returns
     /// a [`Subscription`] that answers weight-drift questions from the
     /// cached report, recomputing only on region exit.
@@ -1054,6 +1168,54 @@ impl Subscription {
         self.report = report;
         self.result = result;
         self.query = new_weights.clone();
+        self.refreshes += 1;
+        Ok(true)
+    }
+
+    /// Maintains the subscription across a batch of applied data updates
+    /// (the return value of [`IrEngine::apply_updates`]): screens each
+    /// update with the kinetic line test
+    /// ([`ir_core::invalidate::update_impact`]) and recomputes — at the
+    /// same anchor query — only if some update punctures the cached
+    /// regions. Returns `Ok(true)` when a recompute happened.
+    ///
+    /// Survival is a proof: when this returns `Ok(false)` the cached report
+    /// is byte-identical to what a full recompute on the mutated dataset
+    /// would produce. A failed recompute (fault, contained panic) leaves
+    /// the cached report in place and the error surfaces — retry once the
+    /// device heals; the screening is deterministic and will puncture
+    /// again.
+    pub fn absorb_updates(&mut self, applied: &[AppliedUpdate]) -> EngineResult<bool> {
+        let mut punctured = false;
+        for update in applied {
+            let impact = ir_core::invalidate::update_impact(
+                &self.query,
+                &self.report,
+                update.tuple,
+                &update.old_vector,
+                &update.new_vector,
+                |id| self.engine.index.fetch_tuple(id),
+            )
+            .map_err(EngineError::Core)?;
+            if !impact.survived() {
+                punctured = true;
+                break;
+            }
+        }
+        if !punctured {
+            self.engine.note_region_survival(1, 0);
+            return Ok(false);
+        }
+        self.engine.note_region_survival(0, 1);
+        let engine = &self.engine;
+        let query = &self.query;
+        let (result, report) = engine.run_guarded("subscription update absorb", || {
+            let mut computation = engine.computation_untracked(query, engine.config)?;
+            let report = computation.compute()?;
+            Ok((computation.result(), report))
+        })?;
+        self.result = result;
+        self.report = report;
         self.refreshes += 1;
         Ok(true)
     }
@@ -1427,6 +1589,73 @@ mod tests {
         let err = engine().save_snapshot(&blocker).map(|_| ()).unwrap_err();
         assert!(matches!(err, EngineError::SnapshotSave { .. }), "{err}");
         assert!(err.to_string().contains("saving snapshot"), "{err}");
+    }
+
+    #[test]
+    fn mutations_flow_through_the_engine_and_count_in_health() {
+        let engine = engine();
+        let query = QueryVector::running_example();
+        assert_eq!(
+            engine.query(&query).unwrap().current_result(),
+            [TupleId(1), TupleId(0)]
+        );
+
+        // Insert a dominating tuple; it enters the result at rank 1.
+        let applied = engine
+            .insert(SparseVector::from_pairs([(0, 0.99), (1, 0.99)]).unwrap())
+            .unwrap();
+        assert_eq!(applied.tuple, TupleId(4));
+        assert_eq!(
+            engine.query(&query).unwrap().current_result(),
+            [TupleId(4), TupleId(1)]
+        );
+
+        // Nudge a coordinate, then delete the tuple: result restored.
+        engine.update_score(TupleId(4), DimId(1), 0.5).unwrap();
+        engine.delete(TupleId(4)).unwrap();
+        assert_eq!(
+            engine.query(&query).unwrap().current_result(),
+            [TupleId(1), TupleId(0)]
+        );
+
+        let health = engine.health();
+        assert_eq!(health.updates_applied, 3);
+        assert!(engine.maintenance_stats().pages_written > 0);
+        // A malformed update is a typed failure and applies nothing.
+        assert!(engine.delete(TupleId(99)).is_err());
+        assert_eq!(engine.health().updates_applied, 3);
+    }
+
+    #[test]
+    fn subscription_absorbs_surviving_updates_without_recompute() {
+        let engine = engine();
+        let mut subscription = engine.subscribe(QueryVector::running_example()).unwrap();
+
+        // A low-scoring insert cannot threaten the top-2: no recompute, and
+        // the cached report must equal a recompute on the mutated data.
+        let applied = engine
+            .apply_updates(&[ir_types::TupleUpdate::Insert {
+                vector: SparseVector::from_pairs([(0, 0.05), (1, 0.05)]).unwrap(),
+            }])
+            .unwrap();
+        assert!(!subscription.absorb_updates(&applied).unwrap());
+        assert_eq!(subscription.refreshes(), 0);
+        let oracle = engine.query(&QueryVector::running_example()).unwrap();
+        assert_eq!(subscription.report().dims, oracle.dims);
+
+        // Deleting a result member must puncture and re-anchor.
+        let applied = engine.apply_updates(&[ir_types::TupleUpdate::Delete { tuple: TupleId(1) }]);
+        let applied = applied.unwrap();
+        assert!(subscription.absorb_updates(&applied).unwrap());
+        assert_eq!(subscription.refreshes(), 1);
+        let oracle = engine.query(&QueryVector::running_example()).unwrap();
+        assert_eq!(subscription.report().dims, oracle.dims);
+        assert_eq!(subscription.result().ids(), oracle.current_result());
+
+        let health = engine.health();
+        assert_eq!(health.regions_survived, 1);
+        assert_eq!(health.regions_punctured, 1);
+        assert_eq!(health.updates_applied, 2);
     }
 
     #[test]

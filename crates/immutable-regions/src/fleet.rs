@@ -45,11 +45,29 @@
 //! marked entries accumulate. Draws use an inline LCG seeded from
 //! [`FleetConfig::scheduler_seed`], so the schedule — and therefore the
 //! whole serving trace — is deterministic.
+//!
+//! # Dynamic data
+//!
+//! The fleet survives tuple updates to the shared index.
+//! [`SubscriptionManager::apply_updates`] mutates the index through
+//! [`IrEngine::apply_updates`] and then *screens* every member's cached
+//! report with the kinetic line test ([`ir_core::update_impact`]): a
+//! member whose report provably survives keeps serving locally at zero
+//! cost, a punctured member is marked **stale** and re-anchored by an
+//! *invalidation job* — a recompute at its current weights that emits no
+//! [`FleetAnswer`] and counts in no serving statistic, so event
+//! conservation (`local_answers + recomputes == events`) holds across
+//! mutations. A stale member never serves a local answer (its cached
+//! report predates the mutation); until its invalidation lands, every
+//! drift event it receives is answered by recompute. When several
+//! managers share one engine, the mutating one forwards the returned
+//! [`AppliedUpdate`]s to its peers' [`SubscriptionManager::revalidate`].
 
 use crate::engine::{immutable_under, EngineError, EngineResult, IrEngine};
-use ir_core::RegionReport;
+use ir_core::{update_impact, RegionReport, UpdateImpact};
 use ir_datagen::DriftEvent;
-use ir_types::{QueryVector, SeededLcg, TupleId};
+use ir_storage::AppliedUpdate;
+use ir_types::{QueryVector, SeededLcg, TupleId, TupleUpdate};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -112,6 +130,14 @@ pub struct FleetStats {
     pub batches: u64,
     /// Jobs in the largest batch flushed so far.
     pub largest_batch: u64,
+    /// Tuple updates applied through [`SubscriptionManager::apply_updates`].
+    pub updates_applied: u64,
+    /// Member reports that provably survived an update batch (screened by
+    /// the kinetic line test, served on without recomputation).
+    pub regions_survived: u64,
+    /// Member reports an update batch punctured — re-anchored through an
+    /// invalidation recompute.
+    pub regions_punctured: u64,
 }
 
 impl FleetStats {
@@ -139,6 +165,11 @@ struct FleetEntry {
     /// Highest event sequence already re-anchored, so out-of-schedule
     /// batch results can never roll an entry backwards.
     last_applied_seq: Option<u64>,
+    /// Set when an update batch punctured the cached report (or screening
+    /// could not prove survival). A stale report predates the mutation, so
+    /// local serving from it is forbidden until a recompute — which always
+    /// runs against the post-mutation index — re-anchors the entry.
+    stale: bool,
     cache_hits: u64,
     refreshes: u64,
 }
@@ -180,6 +211,13 @@ impl FleetMember<'_> {
         self.entry.heat
     }
 
+    /// True while an update batch has punctured the cached report and its
+    /// invalidation recompute has not landed yet — a stale member answers
+    /// by recompute, never from the cache.
+    pub fn is_stale(&self) -> bool {
+        self.entry.stale
+    }
+
     /// Events answered locally for this subscription.
     pub fn cache_hits(&self) -> u64 {
         self.entry.cache_hits
@@ -191,11 +229,23 @@ impl FleetMember<'_> {
     }
 }
 
+/// What a pending recompute job is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobKind {
+    /// Answers a drift event: emits a [`FleetAnswer`] and counts as a
+    /// recompute in the serving statistics.
+    Drift,
+    /// Re-anchors a member whose cached report an update punctured:
+    /// maintenance only — no answer, no serving-statistics recompute.
+    Invalidation,
+}
+
 /// A recompute job waiting for the next flush.
 struct PendingJob {
     seq: u64,
     sub: u64,
     weights: QueryVector,
+    kind: JobKind,
 }
 
 /// A fleet of live subscriptions served from one shared engine.
@@ -330,6 +380,7 @@ impl SubscriptionManager {
                         report,
                         heat: 0,
                         last_applied_seq: None,
+                        stale: false,
                         cache_hits: 0,
                         refreshes: 0,
                     },
@@ -365,7 +416,10 @@ impl SubscriptionManager {
             entry.heat += 1;
             entry.current = entry.current.with_weight_shift(event.dim, event.delta)?;
 
-            if immutable_under(&entry.anchor, &entry.report, &entry.current) {
+            // A stale entry's report predates a mutation of the index:
+            // `immutable_under` against it proves nothing, so the event is
+            // forced through a recompute even when the weights stayed put.
+            if !entry.stale && immutable_under(&entry.anchor, &entry.report, &entry.current) {
                 entry.cache_hits += 1;
                 self.stats.local_answers += 1;
                 self.engine.note_fleet_traffic(1, 0, 0);
@@ -381,6 +435,7 @@ impl SubscriptionManager {
                     seq,
                     sub: event.sub,
                     weights: entry.current.clone(),
+                    kind: JobKind::Drift,
                 });
                 if self.pending.len() >= self.config.max_batch {
                     self.flush_pending()?;
@@ -396,6 +451,87 @@ impl SubscriptionManager {
     pub fn flush(&mut self) -> EngineResult<Vec<FleetAnswer>> {
         self.flush_pending()?;
         Ok(self.drain_ready())
+    }
+
+    /// Applies a batch of tuple updates to the shared index and brings
+    /// every member's cached region report back in line with the mutated
+    /// data (see [`SubscriptionManager::revalidate`]).
+    ///
+    /// Returns one [`AppliedUpdate`] per input. When other managers share
+    /// this engine, forward the returned slice to their `revalidate` — the
+    /// index is shared, their caches are not.
+    pub fn apply_updates(&mut self, updates: &[TupleUpdate]) -> EngineResult<Vec<AppliedUpdate>> {
+        let applied = self.engine.apply_updates(updates)?;
+        self.stats.updates_applied += applied.len() as u64;
+        self.revalidate(&applied)?;
+        Ok(applied)
+    }
+
+    /// Re-validates every member's cached report against updates already
+    /// applied to the shared index (by this manager's
+    /// [`SubscriptionManager::apply_updates`] or by a peer holding the
+    /// same engine).
+    ///
+    /// Each member is screened with the kinetic line test
+    /// ([`ir_core::update_impact`]): survivors keep serving locally,
+    /// punctured members are marked stale and re-anchored at their current
+    /// weights through an invalidation job, flushed synchronously before
+    /// this method returns. Screening that cannot complete (a device fault
+    /// mid-fetch) conservatively punctures — survival must be proven.
+    /// Survival and puncture counts land in [`FleetStats`] and the
+    /// engine's shared `regions_survived` / `regions_punctured` health
+    /// counters.
+    ///
+    /// On a failed flush the punctured members stay stale — they answer
+    /// every drift event by recompute, never from the stale cache — and
+    /// their invalidation jobs stay pending for the next flush or ingest.
+    pub fn revalidate(&mut self, applied: &[AppliedUpdate]) -> EngineResult<()> {
+        if applied.is_empty() || self.entries.is_empty() {
+            return Ok(());
+        }
+        let engine = self.engine.clone();
+        let mut survived = 0u64;
+        let mut punctured: Vec<(u64, QueryVector)> = Vec::new();
+        for (&sub, entry) in self.entries.iter_mut() {
+            let mut verdict = UpdateImpact::Survived;
+            for update in applied {
+                let impact = update_impact(
+                    &entry.anchor,
+                    &entry.report,
+                    update.tuple,
+                    &update.old_vector,
+                    &update.new_vector,
+                    |id| engine.index().fetch_tuple(id),
+                )
+                // An unscreenable member is an unproven one: puncture.
+                .unwrap_or(UpdateImpact::Punctured);
+                if !impact.survived() {
+                    verdict = UpdateImpact::Punctured;
+                    break;
+                }
+            }
+            if verdict.survived() {
+                survived += 1;
+            } else {
+                entry.stale = true;
+                punctured.push((sub, entry.current.clone()));
+            }
+        }
+        self.stats.regions_survived += survived;
+        self.stats.regions_punctured += punctured.len() as u64;
+        self.engine
+            .note_region_survival(survived, punctured.len() as u64);
+        for (sub, weights) in punctured {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push(PendingJob {
+                seq,
+                sub,
+                weights,
+                kind: JobKind::Invalidation,
+            });
+        }
+        self.flush_pending()
     }
 
     fn drain_ready(&mut self) -> Vec<FleetAnswer> {
@@ -434,6 +570,7 @@ impl SubscriptionManager {
                             seq: job.seq,
                             sub: job.sub,
                             weights: job.weights.clone(),
+                            kind: job.kind,
                         })
                         .collect();
                     back.sort_by_key(|job| job.seq);
@@ -444,7 +581,11 @@ impl SubscriptionManager {
 
             self.stats.batches += 1;
             self.stats.largest_batch = self.stats.largest_batch.max(reports.len() as u64);
-            self.engine.note_fleet_traffic(0, reports.len() as u64, 1);
+            let drift_jobs = chunk
+                .iter()
+                .filter(|&&i| jobs[i].kind == JobKind::Drift)
+                .count() as u64;
+            self.engine.note_fleet_traffic(0, drift_jobs, 1);
             // Apply in event order within the chunk so a subscription hit
             // twice is left anchored at its latest weights.
             let mut applied: Vec<(usize, RegionReport)> = chunk.into_iter().zip(reports).collect();
@@ -457,21 +598,28 @@ impl SubscriptionManager {
                     .expect("pending job targets a live subscription");
                 let result = report.current_result().to_vec();
                 let cost = report.stats.evaluated_candidates;
-                entry.refreshes += 1;
-                self.stats.recomputes += 1;
+                if job.kind == JobKind::Drift {
+                    entry.refreshes += 1;
+                    self.stats.recomputes += 1;
+                }
                 if entry.last_applied_seq.map_or(true, |last| job.seq > last) {
                     entry.anchor = job.weights.clone();
                     entry.result = result.clone();
                     entry.report = report;
                     entry.last_applied_seq = Some(job.seq);
+                    // The report was computed just now, against the current
+                    // (post-mutation) index: the entry is fresh again.
+                    entry.stale = false;
                 }
-                self.ready.push(FleetAnswer {
-                    seq: job.seq,
-                    sub: job.sub,
-                    kind: AnswerKind::Recomputed,
-                    evaluated_candidates: cost,
-                    result,
-                });
+                if job.kind == JobKind::Drift {
+                    self.ready.push(FleetAnswer {
+                        seq: job.seq,
+                        sub: job.sub,
+                        kind: AnswerKind::Recomputed,
+                        evaluated_candidates: cost,
+                        result,
+                    });
+                }
             }
         }
         Ok(())
@@ -726,6 +874,261 @@ mod tests {
             }])
             .unwrap();
         assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn updates_screen_the_fleet_and_recompute_only_punctured_members() {
+        let engine = engine();
+        let mut manager = SubscriptionManager::new(&engine, FleetConfig::default()).unwrap();
+        let fleet = fleet_queries(6, 4);
+        manager.admit_all(fleet.clone()).unwrap();
+
+        // An insert far below every k-th line survives every member: no
+        // invalidation, no recompute, every cache kept.
+        let low = TupleUpdate::Insert {
+            vector: ir_types::SparseVector::from_pairs((0..5u32).map(|d| (d, 0.001))).unwrap(),
+        };
+        let applied = manager.apply_updates(&[low]).unwrap();
+        assert_eq!(applied.len(), 1);
+        let stats = manager.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.regions_survived, 6);
+        assert_eq!(stats.regions_punctured, 0);
+        assert_eq!(stats.recomputes, 0);
+        assert_eq!(manager.pending_recomputes(), 0);
+        assert!(manager.members().all(|m| !m.is_stale()));
+
+        // Deleting the head of member 0's result punctures every member
+        // holding it; the punctured are re-anchored synchronously.
+        let victim = manager.member(0).unwrap().result()[0];
+        manager
+            .apply_updates(&[TupleUpdate::Delete { tuple: victim }])
+            .unwrap();
+        let stats = manager.stats();
+        assert_eq!(stats.updates_applied, 2);
+        assert!(stats.regions_punctured >= 1);
+        assert_eq!(stats.regions_survived + stats.regions_punctured, 12);
+        assert_eq!(
+            stats.recomputes, 0,
+            "invalidation recomputes are maintenance, not event answers"
+        );
+        assert_eq!(manager.pending_recomputes(), 0);
+        assert!(manager.members().all(|m| !m.is_stale()));
+        assert!(
+            manager.flush().unwrap().is_empty(),
+            "invalidation jobs must not emit answers"
+        );
+
+        // Every cached report — survivor or re-anchored — is byte-identical
+        // to a fresh recompute on the mutated data, and the deleted tuple
+        // is gone from every result.
+        for member in manager.members() {
+            let fresh = engine.query(member.current()).unwrap();
+            assert_eq!(member.report().dims, fresh.dims);
+            assert_eq!(member.result(), fresh.current_result());
+            assert!(!member.result().contains(&victim));
+        }
+
+        // The engine's shared health counters mirror the fleet's.
+        let health = engine.health();
+        assert_eq!(health.updates_applied, 2);
+        assert_eq!(health.regions_survived, stats.regions_survived);
+        assert_eq!(health.regions_punctured, stats.regions_punctured);
+    }
+
+    #[test]
+    fn an_invalidation_arriving_during_a_failed_flush_is_not_double_applied() {
+        // The satellite scenario: a drift recompute dies at the device and
+        // its job is re-queued; an update batch then punctures the same
+        // member and enqueues an invalidation job; the drain applies both.
+        // The `last_applied_seq` guard must leave the entry anchored by the
+        // newest job, and the invalidation must add neither a second answer
+        // nor a second recompute for the one drift event.
+        let dir = tempfile::tempdir().unwrap();
+        let engine = IrEngine::builder()
+            .dataset_ref(&dataset())
+            .backend(crate::storage::StorageBackend::Disk(
+                dir.path().to_path_buf(),
+            ))
+            .pool_capacity(4)
+            .fault_plan(crate::storage::FaultPlan::device_outage(0, None))
+            .build()
+            .unwrap();
+        let injector = engine.index().fault_injector().unwrap();
+        injector.disarm();
+        let mut manager = SubscriptionManager::new(
+            &engine,
+            FleetConfig {
+                max_batch: 2,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let fleet = fleet_queries(4, 4);
+        manager.admit_all(fleet.clone()).unwrap();
+
+        // One warm in-region event on dim 0; the follow-up event on dim 1
+        // leaves the current weights deviating from the anchor in two
+        // dimensions — per-dimension regions certify nothing there, so a
+        // recompute is forced, and it dies at the armed device: the job
+        // survives the failed flush in the pending queue.
+        let warm = manager
+            .ingest(&[DriftEvent {
+                sub: 0,
+                dim: ir_types::DimId(0),
+                delta: 0.01,
+            }])
+            .unwrap();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm[0].kind, AnswerKind::Local);
+        injector.arm();
+        engine.cold_start();
+        let event = DriftEvent {
+            sub: 0,
+            dim: ir_types::DimId(1),
+            delta: 0.01,
+        };
+        let outcome = manager.ingest(&[event]);
+        assert!(
+            matches!(outcome, Err(EngineError::Core(_))),
+            "expected the recompute to die at the device, got {outcome:?}"
+        );
+        assert_eq!(manager.pending_recomputes(), 1);
+
+        // Device heals; the update punctures member 0 while its drift job
+        // is still pending. The synchronous flush drains both jobs.
+        injector.disarm();
+        let victim = manager.member(0).unwrap().result()[0];
+        manager
+            .apply_updates(&[TupleUpdate::Delete { tuple: victim }])
+            .unwrap();
+        assert_eq!(manager.pending_recomputes(), 0);
+
+        let stats = manager.stats();
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.local_answers, 1);
+        assert!(stats.regions_punctured >= 1);
+        assert_eq!(
+            stats.recomputes, 1,
+            "one exiting drift event, one recompute — the invalidation must not double-count"
+        );
+        assert_eq!(manager.member(0).unwrap().refreshes(), 1);
+
+        // Exactly one answer drains — the drift event's — and it reflects
+        // the mutated data at the drifted weights.
+        let answers = manager.flush().unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].seq, 1);
+        assert_eq!(answers[0].kind, AnswerKind::Recomputed);
+        assert!(!answers[0].result.contains(&victim));
+
+        // The entry is anchored at its newest weights with a fresh report:
+        // every member matches a full recompute on the mutated index.
+        let m0 = manager.member(0).unwrap();
+        assert_eq!(m0.anchor(), m0.current());
+        assert!(!m0.is_stale());
+        assert_eq!(answers[0].result, m0.result());
+        for member in manager.members() {
+            let fresh = engine.query(member.current()).unwrap();
+            assert_eq!(member.report().dims, fresh.dims);
+            assert_eq!(member.result(), fresh.current_result());
+        }
+    }
+
+    #[test]
+    fn a_stale_member_answers_by_recompute_until_revalidation_lands() {
+        // A peer manager shares the engine but not the caches: the index
+        // is mutated externally, screening runs on a dead device (every
+        // member conservatively punctures), the synchronous flush fails —
+        // and until the invalidations land, even a zero-drift event on a
+        // stale member must be answered by recompute, never from the
+        // pre-mutation cache.
+        let dir = tempfile::tempdir().unwrap();
+        let engine = IrEngine::builder()
+            .dataset_ref(&dataset())
+            .backend(crate::storage::StorageBackend::Disk(
+                dir.path().to_path_buf(),
+            ))
+            .pool_capacity(4)
+            .fault_plan(crate::storage::FaultPlan::device_outage(0, None))
+            .build()
+            .unwrap();
+        let injector = engine.index().fault_injector().unwrap();
+        injector.disarm();
+        let mut manager = SubscriptionManager::new(&engine, FleetConfig::default()).unwrap();
+        let fleet = fleet_queries(3, 4);
+        manager.admit_all(fleet.clone()).unwrap();
+
+        // Mutate the shared index directly (a peer's apply_updates would
+        // look the same from here): a non-member tuple changes on dim 2, a
+        // query dimension of every member, so screening needs fetches.
+        let members: std::collections::BTreeSet<TupleId> = manager
+            .members()
+            .flat_map(|m| m.result().to_vec())
+            .collect();
+        let outsider = (0..160u32)
+            .map(TupleId)
+            .find(|id| !members.contains(id))
+            .unwrap();
+        let applied = engine
+            .apply_updates(&[TupleUpdate::UpdateScore {
+                tuple: outsider,
+                dim: ir_types::DimId(2),
+                value: 0.001,
+            }])
+            .unwrap();
+
+        // Screening on a dead device cannot prove survival: every member
+        // is conservatively punctured and stale; the flush fails.
+        injector.arm();
+        engine.cold_start();
+        assert!(matches!(
+            manager.revalidate(&applied),
+            Err(EngineError::Core(_))
+        ));
+        assert_eq!(manager.stats().regions_punctured, 3);
+        assert_eq!(manager.pending_recomputes(), 3);
+        assert!(manager.members().all(|m| m.is_stale()));
+
+        // A zero-drift event is inside the cached region, but the stale
+        // gate forbids the local answer; its recompute also dies.
+        let dim = fleet[0].1.dims().next().unwrap().0;
+        assert!(matches!(
+            manager.ingest(&[DriftEvent {
+                sub: 0,
+                dim,
+                delta: 0.0
+            }]),
+            Err(EngineError::Core(_))
+        ));
+        assert_eq!(manager.stats().events, 1);
+        assert_eq!(manager.stats().local_answers, 0);
+
+        // Heal: the drain serves the deferred event by recompute (the
+        // three invalidations emit nothing) and freshens every cache.
+        injector.disarm();
+        let answers = manager.flush().unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].kind, AnswerKind::Recomputed);
+        assert!(manager.members().all(|m| !m.is_stale()));
+        for member in manager.members() {
+            let fresh = engine.query(member.current()).unwrap();
+            assert_eq!(member.report().dims, fresh.dims);
+            assert_eq!(member.result(), fresh.current_result());
+        }
+
+        // Freshness restored: the same zero-drift event now serves locally.
+        let again = manager
+            .ingest(&[DriftEvent {
+                sub: 0,
+                dim,
+                delta: 0.0,
+            }])
+            .unwrap();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].kind, AnswerKind::Local);
+        let stats = manager.stats();
+        assert_eq!(stats.local_answers + stats.recomputes, stats.events);
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! | top-k | [`topk`] | the resumable random-access Threshold Algorithm |
 //! | regions | [`core`] | Scan / Prune / Thres / CPT, `φ ≥ 0`, oracle, parallel driver |
 //! | workloads | [`datagen`] | WSJ-like, KB-like and ST dataset generators |
-//! | serving | [`engine`] | [`IrEngine`](engine::IrEngine): owned façade, batches, subscriptions |
-//! | fleet | [`fleet`] | [`SubscriptionManager`](fleet::SubscriptionManager): many live subscriptions, batched recomputes |
+//! | serving | [`engine`] | [`IrEngine`](engine::IrEngine): owned façade, batches, subscriptions, tuple updates |
+//! | fleet | [`fleet`] | [`SubscriptionManager`](fleet::SubscriptionManager): many live subscriptions, batched recomputes, region revalidation under updates |
 //!
 //! ## Quickstart
 //!
@@ -81,21 +81,23 @@ pub mod prelude {
         AnswerKind, FleetAnswer, FleetConfig, FleetMember, FleetStats, SubscriptionManager,
     };
     pub use ir_core::{
-        Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats, DimRegions,
-        ExhaustiveOracle, OwnedRegionComputation, Perturbation, RegionBoundary, RegionComputation,
-        RegionConfig, RegionReport, WeightRegion,
+        update_impact, Algorithm, BatchOutcome, BatchRegionComputation, ComputationStats,
+        DimRegions, ExhaustiveOracle, OwnedRegionComputation, Perturbation, RegionBoundary,
+        RegionComputation, RegionConfig, RegionReport, UpdateImpact, WeightRegion,
     };
     pub use ir_datagen::{
         CorrelatedConfig, CorrelatedGenerator, FeatureConfig, FeatureVectorGenerator,
         QueryWorkload, TextCorpusConfig, TextCorpusGenerator, WorkloadConfig,
     };
     pub use ir_datagen::{DriftConfig, DriftEvent, DriftStream};
+    pub use ir_datagen::{UpdateConfig, UpdateStream};
     pub use ir_storage::{
-        FaultPlan, IndexBuilder, IoConfig, RetryPolicy, StorageBackend, TopKIndex,
+        AppliedUpdate, FaultPlan, IndexBuilder, IoConfig, MaintenanceStatsSnapshot, RetryPolicy,
+        StorageBackend, TopKIndex,
     };
     pub use ir_topk::{ProbeStrategy, TaConfig, TaRun};
     pub use ir_types::{
         Dataset, DatasetBuilder, DimId, IrError, IrResult, QueryBuilder, QueryVector, SparseVector,
-        TopKResult, TupleId,
+        TopKResult, TupleId, TupleUpdate,
     };
 }

@@ -7,12 +7,12 @@
 //! store brought up from one shared snapshot, and drives them through a
 //! **deterministic discrete-event simulation**: a virtual-time
 //! [`EventSchedule`](event_schedule::EventSchedule), a seeded
-//! [`SimNetwork`](network::SimNetwork) that delays, reorders and drops
-//! messages reproducibly, and a [`ChurnPlan`](churn::ChurnPlan) that kills
+//! [`SimNetwork`] that delays, reorders and drops
+//! messages reproducibly, and a [`ChurnPlan`] that kills
 //! shards mid-batch.
 //!
 //! Two partitioning strategies are supported
-//! ([`PartitionMode`](immutable_regions::engine::PartitionMode)):
+//! ([`PartitionMode`]):
 //!
 //! * **`ByDim`** — list sharding: the node owning inverted list *d* solves
 //!   every query dimension over *d* (one [`SolveDim`](message::SolveDim)

@@ -5,13 +5,13 @@
 //! file/mmap backends open the file with their own handles — so nodes share
 //! *bytes* (the snapshot) but no runtime state, exactly like separate
 //! processes would. Bring-up goes through the zero-copy snapshot path
-//! ([`IrEngineBuilder::open_snapshot`]): only the trailer is read before
+//! ([`IrEngineBuilder::open_snapshot`](immutable_regions::engine::IrEngineBuilder::open_snapshot)): only the trailer is read before
 //! the first solve.
 //!
 //! Nodes are deliberately dumb: they install the latest
-//! [`ShardMap`](crate::message::ShardMap), solve the
-//! [`SolveDim`](crate::message::SolveDim) requests addressed to them, and
-//! send back [`PartialRegion`](crate::message::PartialRegion)s. All routing
+//! [`ShardMap`], solve the
+//! [`SolveDim`] requests addressed to them, and
+//! send back [`PartialRegion`]s. All routing
 //! intelligence (retries, churn, merging) lives in the coordinator.
 
 use crate::engine::{ClusterError, ClusterResult};

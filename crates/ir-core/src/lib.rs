@@ -38,6 +38,7 @@
 pub mod compute;
 pub mod config;
 pub mod evaluator;
+pub mod invalidate;
 pub mod iterative;
 pub mod lemma;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod threshold;
 
 pub use compute::{OwnedRegionComputation, RegionComputation};
 pub use config::{Algorithm, PerturbationMode, RegionConfig};
+pub use invalidate::{update_impact, UpdateImpact};
 pub use metrics::ComputationStats;
 pub use oracle::ExhaustiveOracle;
 pub use parallel::{BatchOutcome, BatchRegionComputation};

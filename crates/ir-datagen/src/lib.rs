@@ -20,6 +20,9 @@
 //! * [`queries`] — query workload generation for each dataset kind.
 //! * [`drift`] — Zipf-popular weight-drift event streams, the workload a
 //!   subscription fleet serves.
+//! * [`update_stream`] — Zipf-popular tuple-update streams (inserts,
+//!   deletes, rescores) against a concrete dataset, the dynamic-data
+//!   workload the engine's maintenance path consumes.
 //!
 //! All generators are deterministic given a seed, so every experiment in the
 //! harness is reproducible bit-for-bit.
@@ -32,6 +35,7 @@ pub mod drift;
 pub mod features;
 pub mod queries;
 pub mod text;
+pub mod update_stream;
 pub mod zipf;
 
 pub use correlated::{CorrelatedConfig, CorrelatedGenerator};
@@ -39,6 +43,7 @@ pub use drift::{DriftConfig, DriftEvent, DriftStream};
 pub use features::{FeatureConfig, FeatureVectorGenerator};
 pub use queries::{QueryWorkload, WorkloadConfig};
 pub use text::{TextCorpusConfig, TextCorpusGenerator};
+pub use update_stream::{UpdateConfig, UpdateStream};
 pub use zipf::ZipfSampler;
 
 use ir_types::Dataset;

@@ -69,7 +69,14 @@ impl ZipfSampler {
 
     /// Draws a rank in `0..n` (0 is the most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        self.sample_from_uniform(rng.gen())
+    }
+
+    /// Maps one uniform draw `u ∈ [0, 1)` to a rank by inverse-CDF lookup —
+    /// the deterministic core of [`ZipfSampler::sample`], exposed so
+    /// callers driving their own seeded generator (the update-stream
+    /// generator's [`ir_types::SeededLcg`]) share the exact same table.
+    pub fn sample_from_uniform(&self, u: f64) -> usize {
         match self
             .cumulative
             .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))

@@ -20,7 +20,7 @@
 //! opaque `u64` label so that callers can map them back to tuples.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod envelope;
 pub mod interval;

@@ -14,11 +14,13 @@
 use crate::buffer::{BufferPool, RetryPolicy, DEFAULT_POOL_CAPACITY};
 use crate::fault::{FaultInjectingPageStore, FaultPlan};
 use crate::inverted::{write_list, InvertedListCursor, ListDirectoryEntry, ENTRY_BYTES};
+use crate::maintain::{self, AppliedUpdate, MaintenanceStats, MaintenanceStatsSnapshot, Mutable};
 use crate::pagestore::{FilePageStore, MemPageStore, PageStore};
 use crate::snapshot::{self, SnapshotSummary};
 use crate::stats::{IoConfig, IoStatsSnapshot};
 use crate::tuplestore::{write_tuples, TupleReader, TupleRegion};
-use ir_types::{Dataset, DimId, IrError, IrResult, SparseVector, TupleId};
+use ir_types::{Dataset, DimId, IrError, IrResult, SparseVector, TupleId, TupleUpdate};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -284,14 +286,13 @@ impl IndexBuilder {
 
         Ok(TopKIndex {
             pool,
-            lists,
-            tuple_region,
-            cardinality: dataset.cardinality(),
+            mutable: RwLock::new(Mutable::derive(lists, tuple_region, dataset.cardinality())),
             dimensionality: dataset.dimensionality(),
             io_config: self.io_config,
             backend_kind: self.backend.kind(),
             fault_injector: injector,
             cold_start_info,
+            maintenance: MaintenanceStats::default(),
         })
     }
 
@@ -363,16 +364,20 @@ impl IndexBuilder {
         pool.clear_cache();
         pool.reset_io_stats();
 
+        let cardinality = contents.tuple_region.directory.len();
         Ok(TopKIndex {
             pool,
-            cardinality: contents.tuple_region.directory.len(),
-            lists: contents.lists,
-            tuple_region: contents.tuple_region,
+            mutable: RwLock::new(Mutable::derive(
+                contents.lists,
+                contents.tuple_region,
+                cardinality,
+            )),
             dimensionality: contents.dimensionality,
             io_config: self.io_config,
             backend_kind,
             fault_injector: injector,
             cold_start_info,
+            maintenance: MaintenanceStats::default(),
         })
     }
 
@@ -420,16 +425,24 @@ fn open_mmap_store(_path: &Path) -> IrResult<Arc<dyn PageStore>> {
 }
 
 /// The physical top-k index: inverted lists + tuple file + buffer pool.
+///
+/// The directory state (which pages hold which list, where each tuple
+/// record lives) sits behind an `RwLock` so the index can be **maintained
+/// in place** under churn: queries take brief read locks to copy directory
+/// entries out, [`TopKIndex::apply_updates`] holds the write lock for a
+/// whole batch. Mutations are single-writer and are *not* linearizable
+/// with in-flight queries — a query concurrent with a batch may observe
+/// either the old or the new directory (never a torn one). Queries issued
+/// after `apply_updates` returns see the mutated index.
 pub struct TopKIndex {
     pool: Arc<BufferPool>,
-    lists: HashMap<DimId, ListDirectoryEntry>,
-    tuple_region: TupleRegion,
-    cardinality: usize,
+    mutable: RwLock<Mutable>,
     dimensionality: u32,
     io_config: IoConfig,
     backend_kind: BackendKind,
     fault_injector: Option<Arc<FaultInjectingPageStore>>,
     cold_start_info: ColdStartInfo,
+    maintenance: MaintenanceStats,
 }
 
 impl TopKIndex {
@@ -438,9 +451,10 @@ impl TopKIndex {
         IndexBuilder::new().build(dataset)
     }
 
-    /// Number of tuples indexed.
+    /// Number of addressable tuple ids (deleted tuples keep their id as an
+    /// empty vector, so this never shrinks).
     pub fn cardinality(&self) -> usize {
-        self.cardinality
+        self.mutable.read().cardinality
     }
 
     /// Dataset dimensionality `m`.
@@ -478,19 +492,25 @@ impl TopKIndex {
     /// Length of dimension `dim`'s inverted list (zero when no tuple has a
     /// non-zero coordinate there).
     pub fn list_len(&self, dim: DimId) -> usize {
-        self.lists.get(&dim).map_or(0, |d| d.num_entries as usize)
+        self.mutable
+            .read()
+            .lists
+            .get(&dim)
+            .map_or(0, |d| d.num_entries as usize)
     }
 
     /// Directory entry of a dimension's list, if it exists.
     pub fn list_directory(&self, dim: DimId) -> Option<ListDirectoryEntry> {
-        self.lists.get(&dim).copied()
+        self.mutable.read().lists.get(&dim).copied()
     }
 
     /// Opens a sorted-access cursor at the head of dimension `dim`'s list.
     ///
     /// A dimension with no postings yields an empty cursor (never an error):
     /// a query weight on such a dimension is legal, it simply contributes
-    /// nothing to any score.
+    /// nothing to any score. The cursor snapshots the list's directory
+    /// entry: it keeps scanning the pages the list occupied when the cursor
+    /// was opened, even if maintenance later moves the list.
     pub fn list_cursor(&self, dim: DimId) -> IrResult<InvertedListCursor> {
         if dim.0 >= self.dimensionality {
             return Err(IrError::UnknownDimension {
@@ -498,7 +518,7 @@ impl TopKIndex {
                 dimensionality: self.dimensionality,
             });
         }
-        let directory = self.lists.get(&dim).copied().unwrap_or(ListDirectoryEntry {
+        let directory = self.list_directory(dim).unwrap_or(ListDirectoryEntry {
             dim,
             first_page: crate::page::PageId(0),
             num_entries: 0,
@@ -506,14 +526,64 @@ impl TopKIndex {
         Ok(InvertedListCursor::new(Arc::clone(&self.pool), directory))
     }
 
-    /// Fetches the full sparse vector of a tuple (random access).
+    /// Fetches the full sparse vector of a tuple (random access). A deleted
+    /// tuple reads back as the empty vector.
     pub fn fetch_tuple(&self, id: TupleId) -> IrResult<SparseVector> {
-        TupleReader::new(Arc::clone(&self.pool), self.tuple_region.clone()).fetch(id)
+        self.tuple_reader().fetch(id)
     }
 
-    /// Creates a long-lived tuple reader sharing this index's pool.
+    /// Creates a long-lived tuple reader sharing this index's pool. Like a
+    /// cursor, the reader snapshots the tuple region: it does not observe
+    /// later maintenance.
     pub fn tuple_reader(&self) -> TupleReader {
-        TupleReader::new(Arc::clone(&self.pool), self.tuple_region.clone())
+        TupleReader::new(
+            Arc::clone(&self.pool),
+            self.mutable.read().tuple_region.clone(),
+        )
+    }
+
+    /// Applies a batch of logical updates to the physical index in place —
+    /// the storage half of the dynamic update model.
+    ///
+    /// The whole batch is validated against the dataset shape first, so a
+    /// malformed update rejects the batch without touching a page. The
+    /// batch then runs under the directory write lock: tuple records are
+    /// tombstoned, overwritten in place, or appended, and each inverted
+    /// list whose postings changed is rewritten once into its own or a
+    /// recycled page run — bit-compatible with a fresh build of the
+    /// mutated dataset. Returns one [`AppliedUpdate`] (tuple plus old/new
+    /// vector) per input, in order; the layers above use exactly that pair
+    /// to decide which immutable regions were punctured.
+    ///
+    /// All I/O performed by the batch is measured on the calling thread's
+    /// shard and folded into [`TopKIndex::maintenance_stats`], so
+    /// maintenance cost is accounted separately from query cost even with
+    /// concurrent readers.
+    pub fn apply_updates(&self, updates: &[TupleUpdate]) -> IrResult<Vec<AppliedUpdate>> {
+        if updates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut m = self.mutable.write();
+        let before = self.pool.thread_io_snapshot();
+        let (applied, outcome) =
+            maintain::apply_batch(&self.pool, self.dimensionality, &mut m, updates)?;
+        let io = self.pool.thread_io_snapshot().since(&before);
+        self.maintenance
+            .record_batch(updates.len() as u64, &outcome, &io);
+        Ok(applied)
+    }
+
+    /// Applies one logical update; see [`TopKIndex::apply_updates`].
+    pub fn apply_update(&self, update: &TupleUpdate) -> IrResult<AppliedUpdate> {
+        let mut applied = self.apply_updates(std::slice::from_ref(update))?;
+        Ok(applied.pop().expect("one update in, one applied out"))
+    }
+
+    /// Cumulative maintenance counters: updates/batches applied, lists
+    /// rewritten, tuple-region relocations, and the I/O attributed to
+    /// maintenance (kept separate from the query counters).
+    pub fn maintenance_stats(&self) -> MaintenanceStatsSnapshot {
+        self.maintenance.snapshot()
     }
 
     /// Snapshot of the I/O counters accumulated since the last reset.
@@ -568,11 +638,15 @@ impl TopKIndex {
     /// from — the save starts by truncating `dir/index.pages`, which is the
     /// live file in that case; the doomed copy then fails with a typed
     /// error, but the original file is gone. Save to a fresh directory.
+    /// A snapshot saved mid-churn captures the *mutated* state: the copy
+    /// runs under the directory read lock, so it is consistent with the
+    /// last completed [`TopKIndex::apply_updates`] batch.
     pub fn save_snapshot<P: AsRef<Path>>(&self, dir: P) -> IrResult<SnapshotSummary> {
+        let m = self.mutable.read();
         snapshot::write_snapshot(
             &self.pool,
-            &self.lists,
-            &self.tuple_region,
+            &m.lists,
+            &m.tuple_region,
             self.dimensionality,
             dir.as_ref(),
         )

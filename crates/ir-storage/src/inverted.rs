@@ -44,14 +44,28 @@ pub fn write_list(
     dim: DimId,
     entries: &[(TupleId, f64)],
 ) -> IrResult<ListDirectoryEntry> {
+    let num_pages = entries.len().div_ceil(ENTRIES_PER_PAGE).max(1) as u32;
+    let first_page = pool.allocate(num_pages)?;
+    write_list_at(pool, dim, entries, first_page)
+}
+
+/// Writes an inverted list (already sorted by decreasing value) into an
+/// existing page run starting at `first_page` — the in-place maintenance
+/// twin of [`write_list`], used when a list is rewritten into its own (or a
+/// recycled) run instead of freshly allocated pages. The caller guarantees
+/// the run is long enough ([`ListDirectoryEntry::num_pages`] of the result).
+pub fn write_list_at(
+    pool: &BufferPool,
+    dim: DimId,
+    entries: &[(TupleId, f64)],
+    first_page: PageId,
+) -> IrResult<ListDirectoryEntry> {
     debug_assert!(
         entries
             .windows(2)
             .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)),
         "inverted list entries must be sorted by decreasing value"
     );
-    let num_pages = entries.len().div_ceil(ENTRIES_PER_PAGE).max(1) as u32;
-    let first_page = pool.allocate(num_pages)?;
     for (page_idx, chunk) in entries.chunks(ENTRIES_PER_PAGE).enumerate() {
         let mut page = zeroed_page();
         for (slot, (tuple, value)) in chunk.iter().enumerate() {
@@ -66,6 +80,29 @@ pub fn write_list(
         first_page,
         num_entries: entries.len() as u32,
     })
+}
+
+/// Reads a whole inverted list back into memory, in stored order — the
+/// read-modify step of a maintenance rewrite. Touches each list page once
+/// through the pool, so the read is accounted like any other access.
+pub fn read_list(
+    pool: &BufferPool,
+    directory: &ListDirectoryEntry,
+) -> IrResult<Vec<(TupleId, f64)>> {
+    let mut entries = Vec::with_capacity(directory.num_entries as usize);
+    for page_idx in 0..directory.num_pages() {
+        let page = pool.read(PageId(directory.first_page.0 + page_idx))?;
+        let start = page_idx as usize * ENTRIES_PER_PAGE;
+        let in_page = (directory.num_entries as usize - start).min(ENTRIES_PER_PAGE);
+        for slot in 0..in_page {
+            let off = slot * ENTRY_BYTES;
+            entries.push((
+                TupleId(codec::get_u32(&page, off)),
+                codec::get_f64(&page, off + 4),
+            ));
+        }
+    }
+    Ok(entries)
 }
 
 /// A resumable sequential cursor over one inverted list.

@@ -41,6 +41,7 @@ pub mod checksum;
 pub mod fault;
 pub mod index;
 pub mod inverted;
+pub mod maintain;
 #[cfg(feature = "mmap")]
 pub mod mmap;
 pub mod page;
@@ -56,6 +57,7 @@ pub use index::{
     BackendKind, ColdStartInfo, ColdStartSource, IndexBuilder, StorageBackend, TopKIndex,
 };
 pub use inverted::{InvertedListCursor, ListDirectoryEntry};
+pub use maintain::{AppliedUpdate, MaintenanceStatsSnapshot};
 #[cfg(feature = "mmap")]
 pub use mmap::MmapPageStore;
 pub use page::{PageId, PAGE_SIZE};

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Bytes used per non-zero coordinate (`u32` dim + `f64` value).
-const COORD_BYTES: usize = 12;
+pub const COORD_BYTES: usize = 12;
 
 /// Directory record locating one tuple inside the tuple region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +88,97 @@ pub fn write_tuples(pool: &BufferPool, dataset: &Dataset) -> IrResult<TupleRegio
     })
 }
 
+/// Serialises one tuple into its on-disk record bytes (`u32` dim + `f64`
+/// value per non-zero coordinate, dimension-ascending) — the exact layout
+/// [`write_tuples`] produces, shared with the maintenance append path.
+pub(crate) fn encode_record(tuple: &SparseVector) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(tuple.nnz() * COORD_BYTES);
+    let mut coord_buf = [0u8; COORD_BYTES];
+    for (dim, value) in tuple.iter() {
+        codec::put_u32(&mut coord_buf, 0, dim.0);
+        codec::put_f64(&mut coord_buf, 4, value);
+        bytes.extend_from_slice(&coord_buf);
+    }
+    bytes
+}
+
+/// Fetches one tuple out of `region` without materialising a reader — the
+/// borrow-friendly twin of [`TupleReader::fetch`] used by the maintenance
+/// path, whose region mutates between fetches.
+pub(crate) fn read_tuple(
+    pool: &BufferPool,
+    region: &TupleRegion,
+    id: TupleId,
+) -> IrResult<SparseVector> {
+    let entry = region
+        .directory
+        .get(id.index())
+        .ok_or(IrError::UnknownTuple { tuple: id.0 })?;
+    let bytes = read_region_bytes(pool, region, entry.offset, entry.byte_len())?;
+    let mut pairs = Vec::with_capacity(entry.nnz as usize);
+    for i in 0..entry.nnz as usize {
+        let off = i * COORD_BYTES;
+        pairs.push((codec::get_u32(&bytes, off), codec::get_f64(&bytes, off + 4)));
+    }
+    SparseVector::from_pairs(pairs)
+}
+
+/// Reads `len` bytes starting at region-relative byte `offset`, possibly
+/// spanning multiple pages.
+fn read_region_bytes(
+    pool: &BufferPool,
+    region: &TupleRegion,
+    offset: u64,
+    len: usize,
+) -> IrResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(len);
+    let mut remaining = len;
+    let mut pos = offset as usize;
+    while remaining > 0 {
+        let page_idx = pos / PAGE_SIZE;
+        let in_page = pos % PAGE_SIZE;
+        if page_idx as u32 >= region.num_pages {
+            return Err(IrError::Storage(
+                "tuple record extends past the tuple region".to_string(),
+            ));
+        }
+        let page = pool.read(PageId(region.first_page.0 + page_idx as u32))?;
+        let take = (PAGE_SIZE - in_page).min(remaining);
+        out.extend_from_slice(&page[in_page..in_page + take]);
+        pos += take;
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Writes `bytes` at region-relative byte `offset` with read-modify-write
+/// at page granularity — the maintenance path's in-place overwrite and
+/// append primitive. The caller guarantees the touched pages are already
+/// allocated (the region's capacity run covers them); `region.num_pages`
+/// is *not* consulted, because an append legitimately writes past the
+/// current end of the region into its capacity slack.
+pub(crate) fn write_region_bytes(
+    pool: &BufferPool,
+    region: &TupleRegion,
+    offset: u64,
+    bytes: &[u8],
+) -> IrResult<()> {
+    let mut written = 0usize;
+    let mut pos = offset as usize;
+    while written < bytes.len() {
+        let page_idx = pos / PAGE_SIZE;
+        let in_page = pos % PAGE_SIZE;
+        let take = (PAGE_SIZE - in_page).min(bytes.len() - written);
+        let page_id = PageId(region.first_page.0 + page_idx as u32);
+        let mut page = pool.read(page_id)?.as_ref().clone();
+        page[in_page..in_page + take].copy_from_slice(&bytes[written..written + take]);
+        pool.write(page_id, &page)?;
+        pos += take;
+        written += take;
+    }
+    Ok(())
+}
+
 /// Random-access reader over a [`TupleRegion`].
 pub struct TupleReader {
     pool: Arc<BufferPool>,
@@ -112,43 +203,7 @@ impl TupleReader {
 
     /// Fetches the full sparse vector of a tuple (TA's random access).
     pub fn fetch(&self, id: TupleId) -> IrResult<SparseVector> {
-        let entry = self
-            .region
-            .directory
-            .get(id.index())
-            .ok_or(IrError::UnknownTuple { tuple: id.0 })?;
-        let bytes = self.read_bytes(entry.offset, entry.byte_len())?;
-        let mut pairs = Vec::with_capacity(entry.nnz as usize);
-        for i in 0..entry.nnz as usize {
-            let off = i * COORD_BYTES;
-            pairs.push((codec::get_u32(&bytes, off), codec::get_f64(&bytes, off + 4)));
-        }
-        SparseVector::from_pairs(pairs)
-    }
-
-    /// Reads `len` bytes starting at region-relative byte `offset`, possibly
-    /// spanning multiple pages.
-    fn read_bytes(&self, offset: u64, len: usize) -> IrResult<Vec<u8>> {
-        let mut out = Vec::with_capacity(len);
-        let mut remaining = len;
-        let mut pos = offset as usize;
-        while remaining > 0 {
-            let page_idx = pos / PAGE_SIZE;
-            let in_page = pos % PAGE_SIZE;
-            if page_idx as u32 >= self.region.num_pages {
-                return Err(IrError::Storage(
-                    "tuple record extends past the tuple region".to_string(),
-                ));
-            }
-            let page = self
-                .pool
-                .read(PageId(self.region.first_page.0 + page_idx as u32))?;
-            let take = (PAGE_SIZE - in_page).min(remaining);
-            out.extend_from_slice(&page[in_page..in_page + take]);
-            pos += take;
-            remaining -= take;
-        }
-        Ok(out)
+        read_tuple(&self.pool, &self.region, id)
     }
 }
 

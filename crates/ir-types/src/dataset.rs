@@ -167,6 +167,13 @@ impl Dataset {
         (0..self.tuples.len() as u32).map(TupleId)
     }
 
+    /// Mutable access to the tuple table for the update model (the
+    /// [`crate::update`] module is the only consumer; it re-validates every
+    /// mutation against the declared dimensionality).
+    pub(crate) fn tuples_mut(&mut self) -> &mut Vec<SparseVector> {
+        &mut self.tuples
+    }
+
     /// Computes summary statistics.
     pub fn stats(&self) -> DatasetStats {
         let total_nnz: usize = self.tuples.iter().map(|t| t.nnz()).sum();

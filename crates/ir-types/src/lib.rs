@@ -15,12 +15,13 @@
 //!   the top-k result is the list of the `k` highest-scoring tuples in
 //!   decreasing score order.
 //!
-//! The crate deliberately contains no algorithms — only the vocabulary types
-//! (`SparseVector`, `Dataset`, `QueryVector`, `RankedTuple`, `TopKResult`)
-//! plus deterministic ordering helpers used by every layer above.
+//! The crate deliberately contains almost no algorithms — only the
+//! vocabulary types (`SparseVector`, `Dataset`, `QueryVector`,
+//! `RankedTuple`, `TopKResult`), the logical update model ([`TupleUpdate`])
+//! and deterministic ordering helpers used by every layer above.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod query;
 pub mod rng;
 pub mod score;
 pub mod tuple;
+pub mod update;
 
 pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
 pub use error::{IrError, IrResult};
@@ -37,3 +39,4 @@ pub use query::{QueryBuilder, QueryVector};
 pub use rng::SeededLcg;
 pub use score::{score_cmp, total_cmp_desc, RankedTuple, TopKResult};
 pub use tuple::SparseVector;
+pub use update::TupleUpdate;

@@ -152,6 +152,20 @@ impl SparseVector {
         SparseVector::from_pairs(self.entries.iter().map(|(d, v)| (d.0, (v / max).min(1.0))))
     }
 
+    /// Returns a copy with the coordinate in `dim` set to `value` — the
+    /// canonical single-coordinate write of the update model. A `value` of
+    /// `0.0` removes the coordinate (zeros are never stored); any other
+    /// value must be finite and inside `[0, 1]`.
+    pub fn with_coordinate(&self, dim: DimId, value: f64) -> IrResult<Self> {
+        SparseVector::from_pairs(
+            self.entries
+                .iter()
+                .filter(|(d, _)| *d != dim)
+                .map(|(d, v)| (d.0, *v))
+                .chain(std::iter::once((dim.0, value))),
+        )
+    }
+
     /// Estimated in-memory footprint of the vector in bytes (entries only).
     pub fn approx_bytes(&self) -> usize {
         self.entries.len() * (std::mem::size_of::<DimId>() + std::mem::size_of::<f64>())

@@ -1,0 +1,329 @@
+//! The dynamic update model: typed mutations of the logical dataset.
+//!
+//! The paper computes immutable regions over a frozen dataset; the dynamic
+//! layer of this workspace maintains top-k results and regions while the
+//! dataset churns. This module defines the *logical* update vocabulary that
+//! every layer shares — the storage maintenance path, the engine's mutation
+//! API and the recompute oracle all apply the **same** [`TupleUpdate`]
+//! semantics, which is what makes "incremental output ≡ full recompute on
+//! the mutated dataset" a meaningful (and testable) law.
+//!
+//! The model is deliberately small:
+//!
+//! * **Ids are dense and never reused.** [`TupleUpdate::Insert`] appends a
+//!   tuple at id `n` (the current cardinality); a deleted id stays valid
+//!   forever and simply denotes the all-zero vector from then on.
+//! * **Delete is a tombstone.** [`TupleUpdate::Delete`] replaces the tuple
+//!   with the empty [`SparseVector`]; the slot remains addressable (the
+//!   tuple store supports empty tuples natively) and the tuple vanishes
+//!   from every posting list, so it can never score above zero again.
+//! * **UpdateScore is a single-coordinate write.** Setting a coordinate to
+//!   `0.0` removes it (zeros are never stored), so "remove this tuple from
+//!   dimension `j`" needs no extra variant.
+
+use crate::dataset::Dataset;
+use crate::error::{IrError, IrResult};
+use crate::ids::{DimId, TupleId};
+use crate::tuple::SparseVector;
+use serde::{Deserialize, Serialize};
+
+/// One logical mutation of the dataset.
+///
+/// The enum is the shared vocabulary of the dynamic layer: the deterministic
+/// `UpdateStream` generator emits it, the engine's `apply_updates` consumes
+/// it, and the oracle replays it against an in-memory [`Dataset`] via
+/// [`Dataset::with_updates`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TupleUpdate {
+    /// Append a new tuple; it is assigned the next dense id (the current
+    /// cardinality at the time the update is applied).
+    Insert {
+        /// The new tuple's sparse coordinate vector.
+        vector: SparseVector,
+    },
+    /// Tombstone an existing tuple: its vector becomes empty (all-zero) and
+    /// it disappears from every posting list. The id stays addressable.
+    Delete {
+        /// The tuple to tombstone.
+        tuple: TupleId,
+    },
+    /// Set one coordinate of an existing tuple. A `value` of `0.0` removes
+    /// the coordinate (zeros are never stored).
+    UpdateScore {
+        /// The tuple whose coordinate changes.
+        tuple: TupleId,
+        /// The dimension written.
+        dim: DimId,
+        /// The new coordinate value, in `[0, 1]` (`0.0` removes it).
+        value: f64,
+    },
+}
+
+impl TupleUpdate {
+    /// The tuple the update touches, when it names an existing one
+    /// (`None` for [`TupleUpdate::Insert`], whose id is assigned on apply).
+    pub fn target(&self) -> Option<TupleId> {
+        match self {
+            TupleUpdate::Insert { .. } => None,
+            TupleUpdate::Delete { tuple } => Some(*tuple),
+            TupleUpdate::UpdateScore { tuple, .. } => Some(*tuple),
+        }
+    }
+
+    /// Validates the update against a dataset shape without applying it.
+    ///
+    /// `cardinality` is the number of live ids (`0..cardinality` are
+    /// addressable), `dimensionality` the number of dimensions.
+    pub fn validate(&self, cardinality: usize, dimensionality: u32) -> IrResult<()> {
+        match self {
+            TupleUpdate::Insert { vector } => {
+                if let Some(max_dim) = vector.max_dim() {
+                    if max_dim.0 >= dimensionality {
+                        return Err(IrError::UnknownDimension {
+                            dim: max_dim.0,
+                            dimensionality,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            TupleUpdate::Delete { tuple } => {
+                if tuple.index() >= cardinality {
+                    return Err(IrError::UnknownTuple { tuple: tuple.0 });
+                }
+                Ok(())
+            }
+            TupleUpdate::UpdateScore { tuple, dim, value } => {
+                if tuple.index() >= cardinality {
+                    return Err(IrError::UnknownTuple { tuple: tuple.0 });
+                }
+                if dim.0 >= dimensionality {
+                    return Err(IrError::UnknownDimension {
+                        dim: dim.0,
+                        dimensionality,
+                    });
+                }
+                if !value.is_finite() || !(0.0..=1.0).contains(value) {
+                    return Err(IrError::ValueOutOfRange {
+                        what: format!("update of {tuple} in {dim}"),
+                        value: *value,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies the update to a dense tuple table (the canonical semantics
+    /// every consumer defers to). Returns the id of the affected tuple.
+    pub fn apply_to(
+        &self,
+        tuples: &mut Vec<SparseVector>,
+        dimensionality: u32,
+    ) -> IrResult<TupleId> {
+        self.validate(tuples.len(), dimensionality)?;
+        match self {
+            TupleUpdate::Insert { vector } => {
+                let id = TupleId::from(tuples.len());
+                tuples.push(vector.clone());
+                Ok(id)
+            }
+            TupleUpdate::Delete { tuple } => {
+                tuples[tuple.index()] = SparseVector::new();
+                Ok(*tuple)
+            }
+            TupleUpdate::UpdateScore { tuple, dim, value } => {
+                let next = tuples[tuple.index()].with_coordinate(*dim, *value)?;
+                tuples[tuple.index()] = next;
+                Ok(*tuple)
+            }
+        }
+    }
+}
+
+impl Dataset {
+    /// Applies one update in place. Returns the id of the affected tuple
+    /// (for [`TupleUpdate::Insert`], the freshly assigned one).
+    pub fn apply_update(&mut self, update: &TupleUpdate) -> IrResult<TupleId> {
+        let dimensionality = self.dimensionality();
+        update.apply_to(self.tuples_mut(), dimensionality)
+    }
+
+    /// Builds the dataset that results from applying `updates` in order —
+    /// the recompute oracle's input. The original dataset is untouched;
+    /// any invalid update aborts with an error and nothing is returned.
+    pub fn with_updates(&self, updates: &[TupleUpdate]) -> IrResult<Dataset> {
+        let mut mutated = self.clone();
+        for update in updates {
+            mutated.apply_update(update)?;
+        }
+        Ok(mutated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn insert_appends_with_the_next_dense_id() {
+        let mut d = Dataset::running_example();
+        let id = d
+            .apply_update(&TupleUpdate::Insert {
+                vector: sv(&[(0, 0.4)]),
+            })
+            .unwrap();
+        assert_eq!(id, TupleId(4));
+        assert_eq!(d.cardinality(), 5);
+        assert_eq!(d.coordinate(TupleId(4), DimId(0)), 0.4);
+    }
+
+    #[test]
+    fn delete_tombstones_but_keeps_the_id_addressable() {
+        let mut d = Dataset::running_example();
+        let id = d
+            .apply_update(&TupleUpdate::Delete { tuple: TupleId(1) })
+            .unwrap();
+        assert_eq!(id, TupleId(1));
+        assert_eq!(d.cardinality(), 4, "delete must not shift ids");
+        assert!(d.tuple(TupleId(1)).unwrap().is_empty());
+        // Deleting a tombstone is idempotent.
+        d.apply_update(&TupleUpdate::Delete { tuple: TupleId(1) })
+            .unwrap();
+        assert!(d.tuple(TupleId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_score_sets_and_removes_coordinates() {
+        let mut d = Dataset::running_example();
+        d.apply_update(&TupleUpdate::UpdateScore {
+            tuple: TupleId(0),
+            dim: DimId(1),
+            value: 0.9,
+        })
+        .unwrap();
+        assert_eq!(d.coordinate(TupleId(0), DimId(1)), 0.9);
+        // Zero removes the coordinate entirely.
+        d.apply_update(&TupleUpdate::UpdateScore {
+            tuple: TupleId(0),
+            dim: DimId(1),
+            value: 0.0,
+        })
+        .unwrap();
+        assert_eq!(d.coordinate(TupleId(0), DimId(1)), 0.0);
+        assert_eq!(d.tuple(TupleId(0)).unwrap().nnz(), 1);
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected() {
+        let d = Dataset::running_example();
+        let cases = [
+            TupleUpdate::Delete { tuple: TupleId(9) },
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(9),
+                dim: DimId(0),
+                value: 0.5,
+            },
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(0),
+                dim: DimId(7),
+                value: 0.5,
+            },
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(0),
+                dim: DimId(0),
+                value: 1.5,
+            },
+            TupleUpdate::Insert {
+                vector: sv(&[(7, 0.5)]),
+            },
+        ];
+        for update in &cases {
+            assert!(d.with_updates(std::slice::from_ref(update)).is_err());
+        }
+        // A failed batch leaves no partial dataset behind.
+        let err = d.with_updates(&[
+            TupleUpdate::Delete { tuple: TupleId(0) },
+            TupleUpdate::Delete { tuple: TupleId(9) },
+        ]);
+        assert!(err.is_err());
+        assert!(!d.tuple(TupleId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn with_updates_matches_sequential_application() {
+        let base = Dataset::running_example();
+        let updates = vec![
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(2),
+                dim: DimId(0),
+                value: 0.95,
+            },
+            TupleUpdate::Insert {
+                vector: sv(&[(0, 0.2), (1, 0.3)]),
+            },
+            TupleUpdate::Delete { tuple: TupleId(3) },
+            // Mutating the tuple inserted earlier in the same batch works.
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(4),
+                dim: DimId(1),
+                value: 0.7,
+            },
+        ];
+        let batched = base.with_updates(&updates).unwrap();
+        let mut sequential = base.clone();
+        for u in &updates {
+            sequential.apply_update(u).unwrap();
+        }
+        assert_eq!(batched.cardinality(), sequential.cardinality());
+        for id in batched.tuple_ids() {
+            assert_eq!(batched.tuple(id).unwrap(), sequential.tuple(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn target_names_the_touched_tuple() {
+        assert_eq!(
+            TupleUpdate::Insert {
+                vector: SparseVector::new()
+            }
+            .target(),
+            None
+        );
+        assert_eq!(
+            TupleUpdate::Delete { tuple: TupleId(3) }.target(),
+            Some(TupleId(3))
+        );
+        assert_eq!(
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(2),
+                dim: DimId(0),
+                value: 0.1
+            }
+            .target(),
+            Some(TupleId(2))
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_updates() {
+        let updates = vec![
+            TupleUpdate::Insert {
+                vector: sv(&[(1, 0.25)]),
+            },
+            TupleUpdate::Delete { tuple: TupleId(2) },
+            TupleUpdate::UpdateScore {
+                tuple: TupleId(0),
+                dim: DimId(1),
+                value: 0.5,
+            },
+        ];
+        let json = serde_json::to_string(&updates).unwrap();
+        let back: Vec<TupleUpdate> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, updates);
+    }
+}
